@@ -1,0 +1,31 @@
+"""Table II — statistics of the EM datasets."""
+
+from _scale import SCALE, once
+
+from repro.data.generators import dataset_statistics
+from repro.eval import format_table
+
+
+def test_table02_dataset_statistics(benchmark):
+    rows = once(
+        benchmark,
+        lambda: dataset_statistics(SCALE.em_datasets, scale=SCALE.em_scale),
+    )
+    table = format_table(
+        ["dataset", "|A|", "|B|", "train+valid", "test", "%pos"],
+        [
+            [
+                r["dataset"],
+                r["table_a"],
+                r["table_b"],
+                r["train_valid"],
+                r["test"],
+                100.0 * r["pos_rate"],
+            ]
+            for r in rows
+        ],
+        title="Table II: statistics of EM datasets (scaled)",
+    )
+    print("\n" + table)
+    for row in rows:
+        assert 0.05 <= row["pos_rate"] <= 0.30

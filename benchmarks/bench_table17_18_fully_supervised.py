@@ -1,0 +1,90 @@
+"""Table XVII + XVIII — fully-supervised EM: dataset statistics and F1 for
+DeepMatcher, Ditto, Sudowoodo (w/o RR), and Sudowoodo on the extended
+benchmark set (incl. Beer / Fodors-Zagats / iTunes-Amazon)."""
+
+from _scale import FULL, SCALE, em_config, once
+
+from repro import SudowoodoPipeline
+from repro.baselines import train_deepmatcher, train_ditto
+from repro.data.generators import load_em_benchmark
+from repro.eval import format_table
+
+DATASETS = (
+    ["AB", "AG", "Beer", "DA", "DS", "FZ", "IA", "WA"]
+    if FULL
+    else ["DA", "FZ", "Beer"]
+)
+
+
+def test_table17_18_fully_supervised(benchmark):
+    def run():
+        results = {}
+        stats_rows = []
+        for key in DATASETS:
+            dataset = load_em_benchmark(
+                key, scale=SCALE.em_scale, max_table_size=SCALE.em_max_table
+            )
+            stats = dataset.stats()
+            stats_rows.append(
+                [
+                    key,
+                    stats["table_a"],
+                    stats["table_b"],
+                    stats["train_valid"],
+                    stats["test"],
+                    100.0 * stats["pos_rate"],
+                ]
+            )
+            full_budget = len(dataset.pairs.train) + len(dataset.pairs.valid)
+            config = em_config(
+                finetune_lr=6e-5,  # the paper drops the LR when fully supervised
+                finetune_epochs=4 if not FULL else 8,  # full label sets: few passes
+                use_pseudo_labeling=False,  # all labels available: PL unnecessary
+            )
+            results.setdefault("DeepMatcher", {})[key] = train_deepmatcher(
+                dataset, None, config, epochs=10
+            ).test_metrics
+            results.setdefault("Ditto", {})[key] = train_ditto(
+                dataset, full_budget, config
+            ).test_metrics
+            no_rr = config.ablated(use_barlow_twins=False)
+            results.setdefault("Sudowoodo (w/o RR)", {})[key] = (
+                SudowoodoPipeline(no_rr).run(dataset, full_budget).test_metrics
+            )
+            results.setdefault("Sudowoodo", {})[key] = (
+                SudowoodoPipeline(config).run(dataset, full_budget).test_metrics
+            )
+        return results, stats_rows
+
+    results, stats_rows = once(benchmark, run)
+    print(
+        "\n"
+        + format_table(
+            ["dataset", "|A|", "|B|", "train+valid", "test", "%pos"],
+            stats_rows,
+            title="Table XVII: extended EM dataset statistics (scaled)",
+        )
+    )
+    rows = []
+    for method in ["DeepMatcher", "Ditto", "Sudowoodo (w/o RR)", "Sudowoodo"]:
+        values = [100.0 * results[method][d]["f1"] for d in DATASETS]
+        rows.append([method, *values, sum(values) / len(values)])
+    print(
+        "\n"
+        + format_table(
+            ["method", *DATASETS, "average"],
+            rows,
+            title="Table XVIII: fully-supervised EM F1 (scaled)",
+        )
+    )
+
+    def avg(method):
+        return sum(results[method][d]["f1"] for d in DATASETS) / len(DATASETS)
+
+    # Paper shape: Sudowoodo 97.5 > Ditto 92.3 > DeepMatcher 83.8 average.
+    # On fully-labeled *clean synthetic* data the from-scratch DeepMatcher
+    # aggregate saturates the easy datasets (its real-data weakness is
+    # robustness to noise), so the DeepMatcher comparison carries a wider
+    # tolerance; see EXPERIMENTS.md.
+    assert avg("Sudowoodo") > avg("DeepMatcher") - 0.12
+    assert avg("Sudowoodo") > avg("Ditto") - 0.08

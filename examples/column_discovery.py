@@ -1,0 +1,44 @@
+"""Semantic column type discovery (the Table IX / X scenario).
+
+Pre-trains on a corpus of serialized table columns, matches same-type
+column pairs, clusters them with connected components, and shows the
+fine-grained subtypes Sudowoodo discovers beyond the ground-truth labels.
+
+Run:  python examples/column_discovery.py
+"""
+
+from repro.columns import ColumnMatchingPipeline, column_config, discover_types
+from repro.data.generators import generate_column_corpus
+
+
+def main() -> None:
+    corpus = generate_column_corpus(180, seed=7)
+    print(f"Column corpus: {len(corpus)} columns over "
+          f"{len(corpus.type_counts())} ground-truth semantic types")
+
+    config = column_config(
+        dim=32, num_layers=2, num_heads=4, ffn_dim=64,
+        pretrain_epochs=2, finetune_epochs=8, corpus_cap=180, seed=0,
+    )
+    pipeline = ColumnMatchingPipeline(config, max_values_per_column=6)
+    pipeline.pretrain_on(corpus)
+
+    report = pipeline.train_and_evaluate(k=10, num_labels=200)
+    print(f"\nPair matching: test F1={report.test_metrics['f1']:.3f} "
+          f"({report.num_candidates} candidates, "
+          f"{report.positive_rate:.0%} positive)")
+
+    edges = pipeline.predict_edges(pipeline.candidate_pairs(k=10))
+    clusters = discover_types(corpus, edges)
+    print(f"Discovered {clusters.num_clusters} clusters, "
+          f"purity={clusters.mean_purity:.0%}")
+
+    if clusters.subtype_discoveries:
+        print("\nFine-grained subtypes found (beyond ground-truth types):")
+        for discovery in clusters.subtype_discoveries[:5]:
+            print(f"  {discovery['type']} -> {discovery['subtype']} "
+                  f"(size {discovery['size']}, e.g. {discovery['example']!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of Sudowoodo (ICDE 2023).
+
+Contrastive self-supervised learning for multi-purpose data integration
+and preparation: entity matching (blocking + matching), data cleaning
+(error correction), and semantic column type discovery.
+
+Public API highlights:
+
+>>> from repro import SudowoodoConfig, SudowoodoPipeline
+>>> from repro.data.generators import load_em_benchmark
+>>> dataset = load_em_benchmark("AB", scale=0.05)
+>>> pipeline = SudowoodoPipeline(SudowoodoConfig(pretrain_epochs=1))
+>>> report = pipeline.run(dataset, label_budget=100)  # doctest: +SKIP
+"""
+
+from .core import (
+    Blocker,
+    CandidateSet,
+    PairwiseMatcher,
+    PipelineReport,
+    SudowoodoConfig,
+    SudowoodoEncoder,
+    SudowoodoPipeline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blocker",
+    "CandidateSet",
+    "PairwiseMatcher",
+    "PipelineReport",
+    "SudowoodoConfig",
+    "SudowoodoEncoder",
+    "SudowoodoPipeline",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Data augmentation: Table I operators and cutoff (Section IV-A)."""
+
+from .cutoff import (
+    CUTOFF_KINDS,
+    apply_cutoff_to_matrix,
+    make_cutoff_transform,
+)
+from .operators import (
+    ALL_OPERATORS,
+    COLUMN_OPERATORS,
+    EM_OPERATORS,
+    augment,
+    augment_batch,
+    cell_shuffle,
+    col_del,
+    col_shuffle,
+    get_operator,
+    identity,
+    span_del,
+    span_shuffle,
+    token_del,
+    token_insert,
+    token_repl,
+    token_swap,
+)
+
+__all__ = [
+    "ALL_OPERATORS",
+    "COLUMN_OPERATORS",
+    "CUTOFF_KINDS",
+    "EM_OPERATORS",
+    "apply_cutoff_to_matrix",
+    "augment",
+    "augment_batch",
+    "cell_shuffle",
+    "col_del",
+    "col_shuffle",
+    "get_operator",
+    "identity",
+    "make_cutoff_transform",
+    "span_del",
+    "span_shuffle",
+    "token_del",
+    "token_insert",
+    "token_repl",
+    "token_swap",
+]

@@ -1,0 +1,89 @@
+"""Cutoff data augmentation (Figure 5 of the paper).
+
+The three cutoff operators — token, feature, span — act directly on the
+token-embedding matrix of a batch, zeroing a sampled row set, column set,
+or contiguous row span.  Following Section IV-A, the *same* cutoff choice
+is applied to every item in a batch, which makes the encoder predict from
+partial information each step (a dropout-like regularizer).
+
+Implementation: a cutoff produces an ``embedding_transform`` callable that
+the :class:`~repro.nn.TransformerEncoder` applies between the embedding
+lookup and the attention stack — exactly the paper's injection point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+
+EmbeddingTransform = Callable[[Tensor, np.ndarray], Tensor]
+
+CUTOFF_KINDS = ("token", "feature", "span", "none")
+
+
+def make_cutoff_transform(
+    kind: str,
+    ratio: float,
+    rng: np.random.Generator,
+) -> Optional[EmbeddingTransform]:
+    """Build a batch-wise cutoff transform.
+
+    ``ratio`` is the fraction of token positions (or feature dimensions)
+    zeroed, the paper's ``cutoff_ratio`` hyper-parameter (Table IV).
+    Returns None for kind="none" or ratio<=0 (no transform).
+    """
+    if kind not in CUTOFF_KINDS:
+        raise ValueError(f"unknown cutoff kind {kind!r}; known: {CUTOFF_KINDS}")
+    if kind == "none" or ratio <= 0:
+        return None
+
+    def transform(embeddings: Tensor, attention_mask: np.ndarray) -> Tensor:
+        _, seq_len, dim = embeddings.shape
+        mask = np.ones((1, seq_len, dim), dtype=embeddings.data.dtype)
+        if kind == "token":
+            count = max(1, int(round(seq_len * ratio)))
+            # Never cut position 0 ([CLS]) — it carries the pooled output.
+            positions = rng.choice(
+                np.arange(1, seq_len), size=min(count, seq_len - 1), replace=False
+            )
+            mask[0, positions, :] = 0.0
+        elif kind == "feature":
+            count = max(1, int(round(dim * ratio)))
+            features = rng.choice(dim, size=count, replace=False)
+            mask[0, :, features] = 0.0
+        elif kind == "span":
+            count = max(1, int(round(seq_len * ratio)))
+            start = int(rng.integers(1, max(2, seq_len - count)))
+            mask[0, start : start + count, :] = 0.0
+        return embeddings * Tensor(mask)
+
+    return transform
+
+
+def apply_cutoff_to_matrix(
+    matrix: np.ndarray, kind: str, ratio: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Pure-numpy cutoff on a (T, D) matrix — mirrors Figure 5 for tests
+    and for non-autograd consumers."""
+    if kind not in CUTOFF_KINDS:
+        raise ValueError(f"unknown cutoff kind {kind!r}; known: {CUTOFF_KINDS}")
+    out = matrix.copy()
+    if kind == "none" or ratio <= 0:
+        return out
+    seq_len, dim = matrix.shape
+    if kind == "token":
+        count = max(1, int(round(seq_len * ratio)))
+        positions = rng.choice(seq_len, size=min(count, seq_len), replace=False)
+        out[positions, :] = 0.0
+    elif kind == "feature":
+        count = max(1, int(round(dim * ratio)))
+        features = rng.choice(dim, size=count, replace=False)
+        out[:, features] = 0.0
+    elif kind == "span":
+        count = max(1, int(round(seq_len * ratio)))
+        start = int(rng.integers(0, max(1, seq_len - count + 1)))
+        out[start : start + count, :] = 0.0
+    return out

@@ -1,0 +1,33 @@
+"""Data cleaning: candidate tools, Sudowoodo EC, Raha/Baran baselines."""
+
+from .baselines import (
+    BaranCorrector,
+    RahaDetector,
+    run_perfect_ed_baran,
+    run_raha_baran,
+)
+from .candidates import (
+    CandidateGenerator,
+    CandidateStats,
+    DependencyTool,
+    FormatTool,
+    TypoTool,
+    ValueFrequencyTool,
+)
+from .cleaner import CleaningReport, SudowoodoCleaner, cleaning_config
+
+__all__ = [
+    "BaranCorrector",
+    "CandidateGenerator",
+    "CandidateStats",
+    "CleaningReport",
+    "DependencyTool",
+    "FormatTool",
+    "RahaDetector",
+    "SudowoodoCleaner",
+    "TypoTool",
+    "ValueFrequencyTool",
+    "cleaning_config",
+    "run_perfect_ed_baran",
+    "run_raha_baran",
+]

@@ -1,0 +1,235 @@
+"""Candidate-correction generation ("external EC tools", Section V-A).
+
+Sudowoodo follows Baran's setting: a bank of error-correction tools
+proposes candidate corrections per cell; the learned matcher then decides
+which candidate (if any) is the true correction.  Four tools cover the
+four error types of Table III:
+
+* :class:`ValueFrequencyTool`  — frequent domain values (MV and general);
+* :class:`TypoTool`            — domain values within small edit distance;
+* :class:`FormatTool`          — deterministic re-formatting inverses (FI);
+* :class:`DependencyTool`      — values consistent with the row's
+  functional-dependency determinant (VAD).
+
+``CandidateGenerator`` unions the tools and reports the coverage /
+set-size statistics of Table III and Table XIV.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..data.generators.cleaning import CleaningDataset
+from ..text import levenshtein
+
+
+class ValueFrequencyTool:
+    """Propose the most frequent values of the column (fills MVs)."""
+
+    def __init__(self, top: int = 5) -> None:
+        self.top = top
+
+    def fit(self, dataset: CleaningDataset) -> "ValueFrequencyTool":
+        self._frequent: Dict[str, List[str]] = {}
+        for attribute in dataset.schema:
+            counts = Counter(
+                v for v in dataset.dirty.column_values(attribute) if v and v != "n/a"
+            )
+            self._frequent[attribute] = [v for v, _ in counts.most_common(self.top)]
+        return self
+
+    def candidates(self, row: int, attribute: str, value: str) -> List[str]:
+        if value and value != "n/a":
+            return []
+        return list(self._frequent.get(attribute, []))
+
+
+class TypoTool:
+    """Propose domain values within edit distance <= 2 of the cell.
+
+    Only values *strictly more frequent* than the cell's current value are
+    proposed — a typo is a rare string whose correction recurs across the
+    column (the frequency evidence Baran's value models encode).  This
+    keeps numeric columns, where every value is unique, from flooding the
+    candidate sets with one-edit neighbours.
+    """
+
+    def __init__(self, max_distance: int = 2, domain_cap: int = 150) -> None:
+        self.max_distance = max_distance
+        self.domain_cap = domain_cap
+
+    def fit(self, dataset: CleaningDataset) -> "TypoTool":
+        self._counts: Dict[str, Counter] = {}
+        self._domains: Dict[str, List[str]] = {}
+        for attribute in dataset.schema:
+            counts = Counter(
+                v for v in dataset.dirty.column_values(attribute) if v
+            )
+            self._counts[attribute] = counts
+            self._domains[attribute] = [
+                v for v, _ in counts.most_common(self.domain_cap)
+            ]
+        return self
+
+    def candidates(self, row: int, attribute: str, value: str) -> List[str]:
+        if not value:
+            return []
+        counts = self._counts.get(attribute, Counter())
+        own_count = counts.get(value, 0)
+        found = []
+        for domain_value in self._domains.get(attribute, []):
+            if domain_value == value or counts[domain_value] <= own_count:
+                continue
+            distance = levenshtein(value, domain_value, cap=self.max_distance)
+            if distance <= self.max_distance:
+                found.append(domain_value)
+        return found
+
+
+class FormatTool:
+    """Invert common formatting corruptions (FI errors)."""
+
+    def candidates(self, row: int, attribute: str, value: str) -> List[str]:
+        if not value:
+            return []
+        proposals: List[str] = []
+        stripped = value.strip()
+        if stripped != value:
+            proposals.append(stripped)
+        if value != value.lower():
+            proposals.append(value.lower())
+        if value.endswith("%"):
+            try:
+                proposals.append(f"{float(value[:-1]) / 100.0:.3f}")
+            except ValueError:
+                pass
+        if "," in value and value.replace(",", "").isdigit():
+            proposals.append(value.replace(",", ""))
+        if value.endswith(".0 ounce"):
+            proposals.append(value[: -len(".0 ounce")])
+        if re.fullmatch(r"\d{7,}", value):
+            # De-formatted phone (dashes stripped) cannot be restored
+            # uniquely, but the common 3-4 split is proposed.
+            proposals.append(f"{value[:3]}-{value[3:]}")
+        if "--" in value:
+            proposals.append(value.replace("--", "-"))
+        if re.fullmatch(r"\d+-\d+-\d+", value) and "-" in value:
+            proposals.append(value.replace("-", "/"))
+        try:
+            number = float(value)
+            if "." in value and value.endswith("0") and len(value.split(".")[1]) == 2:
+                proposals.append(f"{number:.1f}")
+        except ValueError:
+            pass
+        return [p for p in dict.fromkeys(proposals) if p != value]
+
+
+class DependencyTool:
+    """Propose the value the row's FD determinant implies (VAD errors).
+
+    The determinant -> dependent mapping is learned from the dirty table
+    by majority vote, which is robust while errors are sparse.
+    """
+
+    def fit(self, dataset: CleaningDataset) -> "DependencyTool":
+        self._mappings: Dict[Tuple[str, str], Dict[str, str]] = {}
+        self._determinant_of: Dict[str, List[str]] = {}
+        for determinant, dependents in dataset.dependencies.items():
+            for dependent in dependents:
+                votes: Dict[str, Counter] = {}
+                for record in dataset.dirty:
+                    key = record.get(determinant)
+                    value = record.get(dependent)
+                    if key and value:
+                        votes.setdefault(key, Counter())[value] += 1
+                mapping = {
+                    key: counter.most_common(1)[0][0]
+                    for key, counter in votes.items()
+                }
+                self._mappings[(determinant, dependent)] = mapping
+                self._determinant_of.setdefault(dependent, []).append(determinant)
+        self._dataset = dataset
+        return self
+
+    def candidates(self, row: int, attribute: str, value: str) -> List[str]:
+        proposals = []
+        for determinant in self._determinant_of.get(attribute, []):
+            key = self._dataset.dirty[row].get(determinant)
+            mapping = self._mappings.get((determinant, attribute), {})
+            implied = mapping.get(key)
+            if implied and implied != value:
+                proposals.append(implied)
+        return proposals
+
+
+@dataclass
+class CandidateStats:
+    """Coverage / set-size statistics (Tables III and XIV)."""
+
+    coverage: float
+    mean_candidates: float
+
+
+class CandidateGenerator:
+    """Union of the EC tools; the original value is always a candidate so
+    the matcher can elect to keep a cell unchanged."""
+
+    def __init__(
+        self,
+        frequency_top: int = 5,
+        typo_distance: int = 2,
+    ) -> None:
+        self._frequency = ValueFrequencyTool(top=frequency_top)
+        self._typo = TypoTool(max_distance=typo_distance)
+        self._format = FormatTool()
+        self._dependency = DependencyTool()
+        self._fitted = False
+
+    def fit(self, dataset: CleaningDataset) -> "CandidateGenerator":
+        self.dataset = dataset
+        self._frequency.fit(dataset)
+        self._typo.fit(dataset)
+        self._dependency.fit(dataset)
+        self._cache: Dict[Tuple[int, str], List[str]] = {}
+        self._fitted = True
+        return self
+
+    def candidates(self, row: int, attribute: str) -> List[str]:
+        if not self._fitted:
+            raise RuntimeError("fit the generator on a dataset first")
+        key = (row, attribute)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+        value = self.dataset.dirty[row].get(attribute)
+        proposals: List[str] = [value]
+        proposals.extend(self._dependency.candidates(row, attribute, value))
+        proposals.extend(self._format.candidates(row, attribute, value))
+        proposals.extend(self._typo.candidates(row, attribute, value))
+        proposals.extend(self._frequency.candidates(row, attribute, value))
+        result = list(dict.fromkeys(proposals))
+        self._cache[key] = result
+        return list(result)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CandidateStats:
+        """Coverage over error cells and mean candidate-set size."""
+        errors = self.dataset.error_cells()
+        covered = 0
+        for row, attribute in errors:
+            truth = self.dataset.ground_truth(row, attribute)
+            if truth in self.candidates(row, attribute):
+                covered += 1
+        sizes = []
+        for row in range(len(self.dataset.dirty)):
+            for attribute in self.dataset.schema:
+                sizes.append(len(self.candidates(row, attribute)))
+        return CandidateStats(
+            coverage=covered / len(errors) if errors else 1.0,
+            mean_candidates=float(np.mean(sizes)) if sizes else 0.0,
+        )

@@ -1,0 +1,33 @@
+"""Column matching and semantic type discovery (Section V-B)."""
+
+from .baselines import (
+    CLASSIFIER_FACTORIES,
+    SatoFeaturizer,
+    SherlockFeaturizer,
+    evaluate_feature_baseline,
+    pair_features,
+)
+from .clustering import (
+    ClusterReport,
+    cluster_columns,
+    cluster_purity,
+    discover_types,
+    find_subtype_clusters,
+)
+from .matching import ColumnMatchingPipeline, ColumnMatchReport, column_config
+
+__all__ = [
+    "CLASSIFIER_FACTORIES",
+    "ClusterReport",
+    "ColumnMatchReport",
+    "ColumnMatchingPipeline",
+    "SatoFeaturizer",
+    "SherlockFeaturizer",
+    "cluster_columns",
+    "cluster_purity",
+    "column_config",
+    "discover_types",
+    "evaluate_feature_baseline",
+    "find_subtype_clusters",
+    "pair_features",
+]

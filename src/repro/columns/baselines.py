@@ -1,0 +1,222 @@
+"""Sherlock / Sato column-embedding baselines (Tables X and XII).
+
+Sherlock (Hulsebos et al., KDD 2019) represents a column with hand-crafted
+statistical features: character-class distributions, value-length stats,
+cardinality, plus aggregated character n-gram evidence.  Sato (Zhang et
+al., PVLDB 2020) adds topic-model context features; here the LDA topics
+are replaced by an LSA (TF-IDF + truncated SVD) topic vector plus a
+table-context average, preserving Sato's "column + table topic" design.
+
+For pairwise column matching the extractors feed ``concat(v_a, v_b,
+|v_a - v_b|)`` into LR / SVM / GBT / RF classifiers, with SIM (cosine
+only) as the fifth baseline — exactly the grid of Table XII.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.generators.columns import Column, ColumnCorpus
+from ..ml import (
+    GradientBoostedTrees,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    precision_recall_f1,
+)
+from ..text import TfidfVectorizer
+from ..utils import RngStream
+
+
+def _char_class_fractions(text: str) -> List[float]:
+    if not text:
+        return [0.0] * 5
+    counts = Counter()
+    for char in text:
+        if char.isdigit():
+            counts["digit"] += 1
+        elif char.isalpha():
+            counts["alpha"] += 1
+        elif char.isspace():
+            counts["space"] += 1
+        elif char in ".,:;-/":
+            counts["punct"] += 1
+        else:
+            counts["other"] += 1
+    total = len(text)
+    return [counts[k] / total for k in ("digit", "alpha", "space", "punct", "other")]
+
+
+def _entropy(values: Sequence[str]) -> float:
+    counts = Counter(values)
+    total = sum(counts.values())
+    return -sum(
+        (c / total) * math.log(c / total + 1e-12) for c in counts.values()
+    )
+
+
+def _hashed_ngrams(values: Sequence[str], dims: int = 32) -> np.ndarray:
+    vector = np.zeros(dims)
+    for value in values:
+        padded = f"^{value}$"
+        for i in range(len(padded) - 1):
+            gram = padded[i : i + 2]
+            digest = hashlib.md5(gram.encode("utf-8")).digest()
+            vector[int.from_bytes(digest[:4], "little") % dims] += 1.0
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+class SherlockFeaturizer:
+    """Statistical single-column features (47-dim at these settings)."""
+
+    def __init__(self, ngram_dims: int = 32) -> None:
+        self.ngram_dims = ngram_dims
+
+    def fit(self, corpus: ColumnCorpus) -> "SherlockFeaturizer":
+        return self  # stateless
+
+    def features(self, column: Column) -> np.ndarray:
+        values = list(column.values)
+        joined = " ".join(values)
+        lengths = np.array([len(v) for v in values], dtype=np.float64)
+        token_counts = np.array([len(v.split()) for v in values], dtype=np.float64)
+        numeric = np.array(
+            [1.0 if v.replace(".", "", 1).replace(",", "").isdigit() else 0.0
+             for v in values]
+        )
+        stats = [
+            lengths.mean(),
+            lengths.std(),
+            lengths.min(),
+            lengths.max(),
+            token_counts.mean(),
+            token_counts.std(),
+            len(set(values)) / len(values),
+            _entropy(values),
+            numeric.mean(),
+            float(len(values)),
+        ]
+        return np.concatenate(
+            [
+                np.array(stats),
+                np.array(_char_class_fractions(joined)),
+                _hashed_ngrams(values, self.ngram_dims),
+            ]
+        )
+
+    def matrix(self, corpus: ColumnCorpus) -> np.ndarray:
+        return np.vstack([self.features(c) for c in corpus.columns])
+
+
+class SatoFeaturizer(SherlockFeaturizer):
+    """Sherlock features + LSA topic vector + table-context topic average."""
+
+    def __init__(self, ngram_dims: int = 32, topics: int = 12) -> None:
+        super().__init__(ngram_dims)
+        self.topics = topics
+
+    def fit(self, corpus: ColumnCorpus) -> "SatoFeaturizer":
+        texts = [c.text() for c in corpus.columns]
+        tfidf = TfidfVectorizer(max_features=512).fit_transform(texts)
+        # Truncated SVD = LSA topics (the LDA stand-in).
+        u, s, _ = np.linalg.svd(tfidf, full_matrices=False)
+        k = min(self.topics, u.shape[1])
+        self._topic_vectors = u[:, :k] * s[:k]
+        if k < self.topics:
+            padding = np.zeros((u.shape[0], self.topics - k))
+            self._topic_vectors = np.hstack([self._topic_vectors, padding])
+        # Table context: average topic vector of the column's table.
+        self._context = np.zeros_like(self._topic_vectors)
+        table_members: Dict[int, List[int]] = {}
+        for index, column in enumerate(corpus.columns):
+            table_members.setdefault(column.table_id, []).append(index)
+        for members in table_members.values():
+            mean_vector = self._topic_vectors[members].mean(axis=0)
+            for index in members:
+                self._context[index] = mean_vector
+        self._index_of = {c.column_id: i for i, c in enumerate(corpus.columns)}
+        return self
+
+    def features(self, column: Column) -> np.ndarray:
+        base = super().features(column)
+        row = self._index_of[column.column_id]
+        return np.concatenate(
+            [base, self._topic_vectors[row], self._context[row]]
+        )
+
+
+def pair_features(va: np.ndarray, vb: np.ndarray) -> np.ndarray:
+    """The appendix's pair representation: concat(v_a, v_b, |v_a - v_b|)."""
+    return np.concatenate([va, vb, np.abs(va - vb)])
+
+
+CLASSIFIER_FACTORIES: Dict[str, Callable] = {
+    "LR": lambda: LogisticRegression(),
+    "SVM": lambda: LinearSVM(),
+    "GBT": lambda: GradientBoostedTrees(),
+    "RF": lambda: RandomForest(num_trees=15, max_depth=6),
+}
+
+
+def evaluate_feature_baseline(
+    corpus: ColumnCorpus,
+    featurizer,
+    splits: Dict[str, List[Tuple[int, int, int]]],
+    classifier: str,
+) -> Dict[str, Dict[str, float]]:
+    """Train one (featurizer, classifier) variant; returns valid and test
+    P/R/F1 rows for Table XII."""
+    featurizer.fit(corpus)
+    vectors = featurizer.matrix(corpus)
+
+    def assemble(pairs):
+        features = np.vstack(
+            [pair_features(vectors[i], vectors[j]) for i, j, _ in pairs]
+        )
+        labels = np.array([label for _, _, label in pairs])
+        return features, labels
+
+    train_x, train_y = assemble(splits["train"])
+    valid_x, valid_y = assemble(splits["valid"])
+    test_x, test_y = assemble(splits["test"])
+
+    if classifier == "SIM":
+        train_sims = _pair_cosines(vectors, splits["train"])
+        threshold = _best_f1_threshold(train_sims, train_y)
+        valid_pred = (_pair_cosines(vectors, splits["valid"]) >= threshold).astype(int)
+        test_pred = (_pair_cosines(vectors, splits["test"]) >= threshold).astype(int)
+    else:
+        model = CLASSIFIER_FACTORIES[classifier]()
+        model.fit(train_x, train_y)
+        valid_pred = model.predict(valid_x)
+        test_pred = model.predict(test_x)
+    return {
+        "valid": precision_recall_f1(valid_y, valid_pred),
+        "test": precision_recall_f1(test_y, test_pred),
+    }
+
+
+def _pair_cosines(vectors: np.ndarray, pairs) -> np.ndarray:
+    sims = []
+    for i, j, _ in pairs:
+        a, b = vectors[i], vectors[j]
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        sims.append(float(a @ b / denom) if denom > 0 else 0.0)
+    return np.array(sims)
+
+
+def _best_f1_threshold(scores: np.ndarray, labels: np.ndarray) -> float:
+    best_t, best_f1 = 0.5, -1.0
+    for t in np.unique(np.round(scores, 3)):
+        metrics = precision_recall_f1(labels, (scores >= t).astype(int))
+        if metrics["f1"] >= best_f1:
+            best_f1 = metrics["f1"]
+            best_t = float(t)
+    return best_t

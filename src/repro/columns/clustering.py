@@ -1,0 +1,100 @@
+"""Semantic type discovery via connected components (Section V-B, Table
+IX / XIII).
+
+Predicted same-type edges form a graph over columns; connected components
+are the discovered semantic types.  Quality is measured by cluster purity
+against ground-truth types, and fine-grained discovery is demonstrated by
+clusters that isolate hidden *subtypes* (e.g. central-EU cities inside the
+``city`` type).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..data.generators.columns import ColumnCorpus
+
+
+@dataclass
+class ClusterReport:
+    num_clusters: int
+    mean_purity: float
+    clusters: List[List[int]] = field(default_factory=list)
+    subtype_discoveries: List[Dict[str, str]] = field(default_factory=list)
+
+
+def cluster_columns(
+    corpus: ColumnCorpus, edges: Sequence[Tuple[int, int]]
+) -> List[List[int]]:
+    """Connected components over predicted same-type edges; singletons are
+    kept (a column with no matches is its own type)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(corpus)))
+    graph.add_edges_from(edges)
+    return [sorted(component) for component in nx.connected_components(graph)]
+
+
+def cluster_purity(corpus: ColumnCorpus, clusters: Sequence[Sequence[int]]) -> float:
+    """Column-weighted majority-type purity (the paper reports 89.9%)."""
+    total = 0
+    pure = 0.0
+    for cluster in clusters:
+        types = Counter(corpus[i].semantic_type for i in cluster)
+        pure += types.most_common(1)[0][1]
+        total += len(cluster)
+    return pure / total if total else 0.0
+
+
+def find_subtype_clusters(
+    corpus: ColumnCorpus,
+    clusters: Sequence[Sequence[int]],
+    min_size: int = 3,
+    purity_threshold: float = 0.8,
+) -> List[Dict[str, str]]:
+    """Clusters that isolate a single *subtype* of a multi-subtype type —
+    the "finer than the 78 ground-truth labels" discoveries of Table IX."""
+    discoveries = []
+    for cluster in clusters:
+        if len(cluster) < min_size:
+            continue
+        subtype_counts = Counter(corpus[i].subtype for i in cluster)
+        subtype, count = subtype_counts.most_common(1)[0]
+        if count / len(cluster) < purity_threshold:
+            continue
+        semantic_types = {corpus[i].semantic_type for i in cluster}
+        if len(semantic_types) != 1:
+            continue
+        semantic_type = next(iter(semantic_types))
+        # Only meaningful when the parent type has multiple subtypes.
+        all_subtypes = {
+            c.subtype for c in corpus.columns if c.semantic_type == semantic_type
+        }
+        if len(all_subtypes) < 2:
+            continue
+        discoveries.append(
+            {
+                "type": semantic_type,
+                "subtype": subtype,
+                "size": str(len(cluster)),
+                "example": corpus[cluster[0]].values[0],
+            }
+        )
+    return discoveries
+
+
+def discover_types(
+    corpus: ColumnCorpus, edges: Sequence[Tuple[int, int]]
+) -> ClusterReport:
+    clusters = cluster_columns(corpus, edges)
+    multi = [c for c in clusters if len(c) >= 2]
+    return ClusterReport(
+        num_clusters=len(clusters),
+        mean_purity=cluster_purity(corpus, clusters),
+        clusters=multi,
+        subtype_discoveries=find_subtype_clusters(corpus, multi),
+    )

@@ -1,0 +1,125 @@
+"""The Sudowoodo embedding model: encoder ``M_emb`` + projector ``g``.
+
+The encoder is a Transformer over serialized data items; the projector is
+a single linear layer (the paper's choice for text, vs. the MLP head used
+in vision).  After pre-training the projector is discarded (Algorithm 1,
+line 11) and ``M_emb`` serves blocking, pseudo-labeling, and fine-tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import (
+    Linear,
+    Module,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    no_grad,
+)
+from ..text import Tokenizer
+from ..utils import spawn_rng
+from .config import SudowoodoConfig
+
+EmbeddingTransform = Callable[[Tensor, np.ndarray], Tensor]
+
+
+class SudowoodoEncoder(Module):
+    """Embedding model + projection head over a fitted tokenizer."""
+
+    def __init__(self, config: SudowoodoConfig, tokenizer: Tokenizer) -> None:
+        super().__init__()
+        config.validate()
+        self.config = config
+        self.tokenizer = tokenizer
+        transformer_config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            dim=config.dim,
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            ffn_dim=config.ffn_dim,
+            # Pair encoding needs room for two serialized items.
+            max_seq_len=max(config.max_seq_len, config.pair_max_seq_len),
+            dropout=config.dropout,
+            seed=config.seed,
+        )
+        self.encoder = TransformerEncoder(transformer_config)
+        self.projector = Linear(
+            config.dim, config.projector_dim, spawn_rng(config.seed, "projector")
+        )
+
+    # ------------------------------------------------------------------
+    # Training-path encodes (gradients flow)
+    # ------------------------------------------------------------------
+    def encode_training(
+        self,
+        texts: Sequence[str],
+        embedding_transform: Optional[EmbeddingTransform] = None,
+        max_len: Optional[int] = None,
+    ) -> Tensor:
+        """Pooled (B, dim) representations with gradients."""
+        encoded = self.tokenizer.encode_batch(
+            list(texts), max_len=max_len or self.config.max_seq_len
+        )
+        return self.encoder.pooled(
+            encoded.token_ids,
+            attention_mask=encoded.attention_mask,
+            pooling=self.config.pooling,
+            embedding_transform=embedding_transform,
+        )
+
+    def encode_pairs_training(
+        self, pairs: Sequence[tuple], max_len: Optional[int] = None
+    ) -> Tensor:
+        """Pooled representations of concatenated ``[CLS] x [SEP] y [SEP]``
+        sequences (with segment embeddings), gradients on."""
+        encoded = self.tokenizer.encode_pair_batch(
+            list(pairs), max_len=max_len or self.config.pair_max_seq_len
+        )
+        return self.encoder.pooled(
+            encoded.token_ids,
+            attention_mask=encoded.attention_mask,
+            segment_ids=encoded.segment_ids,
+            pooling=self.config.pooling,
+        )
+
+    def project(self, pooled: Tensor) -> Tensor:
+        """Apply the projection head ``g`` (pre-training only)."""
+        return self.projector(pooled)
+
+    # ------------------------------------------------------------------
+    # Inference-path embeddings (no gradients, batched)
+    # ------------------------------------------------------------------
+    def embed_items(
+        self, texts: Sequence[str], batch_size: int = 64, normalize: bool = True
+    ) -> np.ndarray:
+        """Embed a corpus into a (N, dim) float matrix without gradients.
+
+        Rows are L2-normalized by default (Definition 1 assumes unit-norm
+        outputs), so dot products are cosine similarities.
+        """
+        was_training = self.encoder.training
+        self.encoder.eval()
+        chunks: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(texts), batch_size):
+                batch = list(texts[start : start + batch_size])
+                pooled = self.encode_training(batch)
+                chunks.append(pooled.data.astype(np.float64))
+        if was_training:
+            self.encoder.train()
+        if not chunks:
+            return np.zeros((0, self.config.dim))
+        matrix = np.vstack(chunks)
+        if normalize:
+            norms = np.maximum(np.linalg.norm(matrix, axis=1, keepdims=True), 1e-12)
+            matrix = matrix / norms
+        return matrix
+
+
+def build_tokenizer(corpus: Sequence[str], config: SudowoodoConfig) -> Tokenizer:
+    """Fit the tokenizer on the unlabeled corpus (plus pair vocabulary)."""
+    return Tokenizer.fit(corpus, vocab_size=config.vocab_size)

@@ -1,0 +1,81 @@
+"""Self-supervised objectives: NT-Xent (SimCLR) and Barlow Twins.
+
+Implements Equations 1-2 (contrastive loss), Equations 4-5 (redundancy
+regularization), and Equation 6 (their combination) from the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, concat
+
+
+def nt_xent_loss(z_ori: Tensor, z_aug: Tensor, temperature: float = 0.07) -> Tensor:
+    """The SimCLR contrastive loss (Equations 1 and 2).
+
+    ``z_ori`` and ``z_aug`` are (N, D) projections of two views of the same
+    batch.  For each element the positive is its counterpart in the other
+    view; the remaining 2N-2 elements are in-batch negatives.
+    """
+    n = z_ori.shape[0]
+    if z_aug.shape[0] != n:
+        raise ValueError("views must have equal batch sizes")
+    if n < 2:
+        raise ValueError("NT-Xent requires a batch of at least 2 items")
+    z = concat([z_ori, z_aug], axis=0).l2_normalize(axis=-1)
+    similarities = (z @ z.T) * (1.0 / temperature)
+    # 1[k != i]: exclude self-similarity from the denominator.
+    self_mask = np.eye(2 * n, dtype=bool)
+    masked = similarities.masked_fill(self_mask, -1e9)
+    log_probs = masked.log_softmax(axis=-1)
+    # Positive of i is i+N (and of i+N is i) — Equation 2 averages both.
+    positives = np.concatenate([np.arange(n) + n, np.arange(n)])
+    picked = log_probs[np.arange(2 * n), positives]
+    return -picked.mean()
+
+
+def barlow_twins_loss(
+    z_ori: Tensor, z_aug: Tensor, lambda_bt: float = 3.9e-3, eps: float = 1e-9
+) -> Tensor:
+    """Redundancy-regularization loss (Equations 4 and 5).
+
+    The empirical cross-correlation matrix between feature columns of the
+    two views is pushed toward the identity: diagonal -> 1 (invariance),
+    off-diagonal -> 0 (redundancy reduction).
+    """
+    n, dim = z_ori.shape
+    if z_aug.shape != (n, dim):
+        raise ValueError("views must have identical shapes")
+    if n < 2:
+        raise ValueError("Barlow Twins requires a batch of at least 2 items")
+    # Standardize each feature column over the batch (Equation 4 divides by
+    # per-feature norms; mean-centering is the BT reference implementation).
+    ori_centered = z_ori - z_ori.mean(axis=0, keepdims=True)
+    aug_centered = z_aug - z_aug.mean(axis=0, keepdims=True)
+    ori_norm = (ori_centered * ori_centered).sum(axis=0, keepdims=True).sqrt() + eps
+    aug_norm = (aug_centered * aug_centered).sum(axis=0, keepdims=True).sqrt() + eps
+    ori_std = ori_centered / ori_norm
+    aug_std = aug_centered / aug_norm
+    correlation = ori_std.T @ aug_std  # (D, D), entries in [-1, 1]
+
+    identity = np.eye(dim)
+    diff = correlation - Tensor(identity)
+    on_diag = (diff * Tensor(identity)) ** 2.0
+    off_diag = (diff * Tensor(1.0 - identity)) ** 2.0
+    return on_diag.sum() + lambda_bt * off_diag.sum()
+
+
+def combined_loss(
+    z_ori: Tensor,
+    z_aug: Tensor,
+    temperature: float = 0.07,
+    alpha_bt: float = 1e-3,
+    lambda_bt: float = 3.9e-3,
+) -> Tensor:
+    """Equation 6: ``(1 - alpha) * L_contrast + alpha * L_BT``."""
+    contrast = nt_xent_loss(z_ori, z_aug, temperature=temperature)
+    if alpha_bt <= 0.0:
+        return contrast
+    barlow = barlow_twins_loss(z_ori, z_aug, lambda_bt=lambda_bt)
+    return contrast * (1.0 - alpha_bt) + barlow * alpha_bt

@@ -1,0 +1,227 @@
+"""Pairwise matcher with Sudowoodo's similarity-aware fine-tuning head.
+
+Figure 4 of the paper: for a pair (x, y) the model encodes x, y, and the
+concatenation xy, then classifies from ``Z_xy ⊕ |Z_x − Z_y|`` — combining
+cross-item attention (the concat encoding) with an explicit representation
+difference.  The baseline Ditto head (concat-only) is available via
+``head="concat"`` for ablations and the Ditto baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import (
+    AdamW,
+    Linear,
+    LinearWarmupDecay,
+    Module,
+    Tensor,
+    concat,
+    no_grad,
+    weighted_cross_entropy,
+)
+from ..utils import spawn_rng
+from .config import SudowoodoConfig
+from .encoder import SudowoodoEncoder
+
+
+@dataclass
+class TrainingExample:
+    """A labeled (serialized) pair with a loss weight.
+
+    Manual labels carry weight 1.0; pseudo labels are down-weighted by the
+    config's ``pseudo_label_weight``.
+    """
+
+    left: str
+    right: str
+    label: int
+    weight: float = 1.0
+
+
+@dataclass
+class FinetuneResult:
+    epoch_losses: List[float] = field(default_factory=list)
+    best_valid_f1: float = 0.0
+    best_epoch: int = -1
+
+
+class PairwiseMatcher(Module):
+    """``M_pm``: the fine-tuned binary classifier over item pairs."""
+
+    def __init__(
+        self, encoder: SudowoodoEncoder, head: str = "sudowoodo"
+    ) -> None:
+        super().__init__()
+        if head not in ("sudowoodo", "concat"):
+            raise ValueError(f"unknown head {head!r}; use 'sudowoodo' or 'concat'")
+        self.encoder = encoder
+        self.head = head
+        dim = encoder.config.dim
+        input_dim = 2 * dim if head == "sudowoodo" else dim
+        self.classifier = Linear(
+            input_dim, 2, spawn_rng(encoder.config.seed, "matcher-head")
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, pairs: Sequence[Tuple[str, str]]) -> Tensor:
+        """(B, 2) logits for a batch of serialized pairs (Equation 3)."""
+        z_xy = self.encoder.encode_pairs_training(pairs)
+        if self.head == "concat":
+            return self.classifier(z_xy)
+        # Encode x and y separately in one batch of 2B rows.
+        singles = [p[0] for p in pairs] + [p[1] for p in pairs]
+        z_singles = self.encoder.encode_training(singles)
+        n = len(pairs)
+        z_x = z_singles[:n]
+        z_y = z_singles[n:]
+        features = concat([z_xy, (z_x - z_y).abs()], axis=1)
+        return self.classifier(features)
+
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self, pairs: Sequence[Tuple[str, str]], batch_size: int = 32
+    ) -> np.ndarray:
+        """(N, 2) match probabilities, no gradients."""
+        was_training = self.encoder.encoder.training
+        self.encoder.encoder.eval()
+        outputs: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(pairs), batch_size):
+                logits = self.forward(list(pairs[start : start + batch_size]))
+                outputs.append(logits.softmax(axis=-1).data.astype(np.float64))
+        if was_training:
+            self.encoder.encoder.train()
+        if not outputs:
+            return np.zeros((0, 2))
+        return np.vstack(outputs)
+
+    def predict(
+        self, pairs: Sequence[Tuple[str, str]], batch_size: int = 32
+    ) -> np.ndarray:
+        return self.predict_proba(pairs, batch_size=batch_size).argmax(axis=1)
+
+
+def finetune_matcher(
+    matcher: PairwiseMatcher,
+    train_examples: Sequence[TrainingExample],
+    valid_examples: Sequence[TrainingExample] = (),
+    config: Optional[SudowoodoConfig] = None,
+    fixed_steps: Optional[int] = None,
+    num_validations: int = 4,
+) -> FinetuneResult:
+    """Fine-tune ``M_pm`` with AdamW + linear warmup/decay.
+
+    Two parameter groups train at different rates: the fresh task head at
+    ``config.head_lr`` and the pre-trained encoder at ``config.finetune_lr``
+    (so a handful of imbalanced steps cannot wreck the contrastive
+    representations).  The best-validation-F1 weights are kept, matching
+    the paper's per-epoch model selection.  ``fixed_steps`` caps total
+    optimizer steps — the paper fixes the step count when pseudo labels
+    enlarge the training set, so extra labels don't buy extra compute.
+    """
+    config = config or matcher.encoder.config
+    if not train_examples:
+        raise ValueError("cannot fine-tune without training examples")
+    rng = spawn_rng(config.seed, "finetune")
+    head_params = matcher.classifier.parameters()
+    encoder_params = matcher.encoder.parameters()
+    head_optimizer = AdamW(head_params, lr=config.head_lr, weight_decay=0.0)
+    encoder_optimizer = AdamW(encoder_params, lr=config.finetune_lr)
+    steps_per_epoch = max(
+        1, int(np.ceil(len(train_examples) / config.finetune_batch_size))
+    )
+    total_steps = (
+        fixed_steps
+        if fixed_steps is not None
+        else steps_per_epoch * config.finetune_epochs
+    )
+    encoder_schedule = LinearWarmupDecay(
+        encoder_optimizer, config.finetune_lr, total_steps
+    )
+    # Validate a few times across training rather than every epoch —
+    # validation costs as much as several training steps at this scale.
+    epochs_planned = max(1, int(np.ceil(total_steps / steps_per_epoch)))
+    validate_every = max(1, epochs_planned // max(1, num_validations))
+
+    result = FinetuneResult()
+    best_state = None
+    steps_taken = 0
+    matcher.encoder.encoder.train()
+    epoch = 0
+    while steps_taken < total_steps:
+        order = rng.permutation(len(train_examples))
+        epoch_losses: List[float] = []
+        for start in range(0, len(order), config.finetune_batch_size):
+            if steps_taken >= total_steps:
+                break
+            batch = [
+                train_examples[int(i)]
+                for i in order[start : start + config.finetune_batch_size]
+            ]
+            if len(batch) < 2:
+                continue
+            logits = matcher.forward([(e.left, e.right) for e in batch])
+            loss = weighted_cross_entropy(
+                logits,
+                np.array([e.label for e in batch]),
+                np.array([e.weight for e in batch]),
+            )
+            head_optimizer.zero_grad()
+            encoder_optimizer.zero_grad()
+            loss.backward()
+            encoder_schedule.step()
+            head_optimizer.step()
+            encoder_optimizer.step()
+            steps_taken += 1
+            epoch_losses.append(loss.item())
+        result.epoch_losses.append(
+            float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+        )
+        is_last = steps_taken >= total_steps
+        if valid_examples and (epoch % validate_every == 0 or is_last):
+            valid_f1 = evaluate_f1(
+                matcher,
+                [(e.left, e.right) for e in valid_examples],
+                [e.label for e in valid_examples],
+            )["f1"]
+            if valid_f1 >= result.best_valid_f1:
+                result.best_valid_f1 = valid_f1
+                result.best_epoch = epoch
+                best_state = matcher.state_dict()
+        epoch += 1
+    if best_state is not None:
+        matcher.load_state_dict(best_state)
+    matcher.encoder.encoder.eval()
+    return result
+
+
+def evaluate_f1(
+    matcher: PairwiseMatcher,
+    pairs: Sequence[Tuple[str, str]],
+    labels: Sequence[int],
+    batch_size: int = 32,
+) -> dict:
+    """Precision / recall / F1 of the matcher on labeled pairs."""
+    predictions = matcher.predict(pairs, batch_size=batch_size)
+    return f1_from_predictions(np.asarray(labels), predictions)
+
+
+def f1_from_predictions(labels: np.ndarray, predictions: np.ndarray) -> dict:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    true_pos = int(((predictions == 1) & (labels == 1)).sum())
+    false_pos = int(((predictions == 1) & (labels == 0)).sum())
+    false_neg = int(((predictions == 0) & (labels == 1)).sum())
+    precision = true_pos / (true_pos + false_pos) if true_pos + false_pos else 0.0
+    recall = true_pos / (true_pos + false_neg) if true_pos + false_neg else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}

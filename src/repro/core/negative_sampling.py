@@ -1,0 +1,100 @@
+"""Clustering-based negative sampling (Algorithm 2 of the paper).
+
+Batches for contrastive pre-training are drawn *within* TF-IDF/k-means
+clusters so that in-batch negatives are lexically similar — "harder" — and
+the encoder must learn deeper features (e.g. model numbers) to separate
+them.  Cluster assignments are computed once and cached across epochs, as
+the paper prescribes for efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..text import TfidfVectorizer, kmeans
+
+
+class ClusterBatcher:
+    """Produces mini-batch index lists per Algorithm 2.
+
+    With ``num_clusters=1`` (or via :meth:`uniform_batches`) this reduces to
+    standard uniform batching — the ablation without Cls.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[str],
+        num_clusters: int,
+        rng: np.random.Generator,
+        max_features: int = 512,
+    ) -> None:
+        if not corpus:
+            raise ValueError("cannot batch an empty corpus")
+        self.corpus_size = len(corpus)
+        self.num_clusters = max(1, min(num_clusters, len(corpus)))
+        # Line 1-2 of Algorithm 2: TF-IDF featurize, then k-means.  Cached
+        # for all future epochs.
+        features = TfidfVectorizer(max_features=max_features).fit_transform(corpus)
+        self._clusters: List[np.ndarray] = kmeans(
+            features, self.num_clusters, rng
+        ).clusters()
+
+    # ------------------------------------------------------------------
+    def batches(self, batch_size: int, rng: np.random.Generator) -> List[np.ndarray]:
+        """Lines 3-12 of Algorithm 2: shuffle clusters, shuffle within each
+        cluster, pack consecutive items into batches, shuffle the batches."""
+        clusters = list(self._clusters)
+        order = rng.permutation(len(clusters))
+        batches: List[np.ndarray] = []
+        current: List[int] = []
+        for cluster_index in order:
+            members = clusters[int(cluster_index)].copy()
+            rng.shuffle(members)
+            for item in members:
+                current.append(int(item))
+                if len(current) == batch_size:
+                    batches.append(np.array(current))
+                    current = []
+        if len(current) >= 2:  # contrastive losses need >= 2 items
+            batches.append(np.array(current))
+        batch_order = rng.permutation(len(batches))
+        return [batches[int(i)] for i in batch_order]
+
+    def uniform_batches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """Default SimCLR batching: a random permutation chunked."""
+        order = rng.permutation(self.corpus_size)
+        batches = [
+            order[start : start + batch_size]
+            for start in range(0, self.corpus_size, batch_size)
+        ]
+        return [b for b in batches if len(b) >= 2]
+
+    # ------------------------------------------------------------------
+    def false_negative_rate(
+        self,
+        matches: Sequence[tuple],
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fraction of true matching pairs that land in the *same training
+        batch* — where they would wrongly act as negatives.  This is the
+        diagnostic of Figure 8 (row 3): tighter clusters concentrate
+        lexically similar items, so the rate grows with ``num_clusters``.
+
+        ``matches`` contains (corpus_index_a, corpus_index_b) pairs.
+        """
+        if not matches:
+            return 0.0
+        batch_of = np.full(self.corpus_size, -1, dtype=np.int64)
+        for batch_id, batch in enumerate(self.batches(batch_size, rng)):
+            batch_of[batch] = batch_id
+        same = sum(
+            1
+            for left, right in matches
+            if batch_of[left] >= 0 and batch_of[left] == batch_of[right]
+        )
+        return same / len(matches)

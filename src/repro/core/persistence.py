@@ -1,0 +1,55 @@
+"""Persistence for pre-trained Sudowoodo encoders.
+
+A checkpoint bundles the encoder + projector weights with the fitted
+tokenizer vocabulary and the full config, so a pre-trained representation
+model can be reused across tasks (the paper's multi-purpose premise)
+without re-running contrastive pre-training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from ..nn import load_checkpoint, save_checkpoint
+from ..text import SPECIAL_TOKENS, Tokenizer
+from .config import SudowoodoConfig
+from .encoder import SudowoodoEncoder
+
+PathLike = Union[str, Path]
+
+
+def save_encoder(encoder: SudowoodoEncoder, path: PathLike) -> Path:
+    """Write weights + tokenizer + config to a single ``.npz`` checkpoint."""
+    metadata = {
+        "config": dataclasses.asdict(encoder.config),
+        "vocab": encoder.tokenizer.vocab,
+        "format_version": 1,
+    }
+    return save_checkpoint(encoder, path, metadata=metadata)
+
+
+def load_encoder(path: PathLike) -> SudowoodoEncoder:
+    """Rebuild a :class:`SudowoodoEncoder` from :func:`save_encoder` output."""
+    # Read metadata first to reconstruct the module skeleton, then load
+    # weights into it.
+    import numpy as np
+
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    if metadata.get("format_version") != 1:
+        raise ValueError(f"unsupported checkpoint format in {path}")
+    config = SudowoodoConfig(**metadata["config"])
+    vocab = {token: int(index) for token, index in metadata["vocab"].items()}
+    for i, token in enumerate(SPECIAL_TOKENS):
+        if vocab.get(token) != i:
+            raise ValueError(f"corrupt tokenizer vocabulary in {path}")
+    encoder = SudowoodoEncoder(config, Tokenizer(vocab))
+    load_checkpoint(encoder, path)
+    encoder.eval()
+    return encoder

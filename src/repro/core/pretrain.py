@@ -1,0 +1,208 @@
+"""Contrastive pre-training (Algorithm 1 with the Section IV optimizations).
+
+Per epoch: mini-batches are drawn by clustering-based negative sampling
+(Algorithm 2) when enabled, otherwise uniformly.  Each batch is augmented
+with one base DA operator (Table I); the augmented view is additionally
+perturbed by a batch-wise cutoff at the token-embedding level (Figure 5).
+The loss is Equation 6 — NT-Xent optionally blended with Barlow Twins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..augment import EM_OPERATORS, augment_batch, make_cutoff_transform
+from ..nn import AdamW
+from ..text import MLMConfig, mlm_warm_start
+from ..utils import RngStream
+from .config import SudowoodoConfig
+from .encoder import SudowoodoEncoder, build_tokenizer
+from .losses import combined_loss, nt_xent_loss
+from .negative_sampling import ClusterBatcher
+
+
+@dataclass
+class PretrainResult:
+    """The trained embedding model plus its training trace."""
+
+    encoder: SudowoodoEncoder
+    epoch_losses: List[float] = field(default_factory=list)
+    corpus_size: int = 0
+    operator_weights: Optional[dict] = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class OperatorScheduler:
+    """Adaptive DA-operator selection (``da_operator="auto"``).
+
+    The paper leaves learned operator combination (à la Rotom) as future
+    work; this scheduler implements the simplest self-supervised form:
+    operators are sampled proportionally to softmax'd utility scores, and
+    an operator's score is nudged by how much harder-than-average its
+    batches are (higher contrastive loss = harder positives = more
+    training signal, the "diverse views" intuition of Section IV-A).
+    """
+
+    def __init__(
+        self,
+        operators: Sequence[str],
+        rng: np.random.Generator,
+        step_size: float = 0.3,
+    ) -> None:
+        if not operators:
+            raise ValueError("need at least one operator")
+        self.operators = list(operators)
+        self.rng = rng
+        self.step_size = step_size
+        self._scores = {op: 0.0 for op in self.operators}
+        self._running_loss: Optional[float] = None
+
+    def weights(self) -> dict:
+        values = np.array([self._scores[op] for op in self.operators])
+        exp = np.exp(values - values.max())
+        probabilities = exp / exp.sum()
+        return dict(zip(self.operators, probabilities))
+
+    def sample(self) -> str:
+        weights = self.weights()
+        probabilities = [weights[op] for op in self.operators]
+        return str(self.rng.choice(self.operators, p=probabilities))
+
+    def update(self, operator: str, loss: float) -> None:
+        if self._running_loss is None:
+            self._running_loss = loss
+        advantage = loss - self._running_loss
+        self._scores[operator] += self.step_size * advantage
+        self._running_loss = 0.9 * self._running_loss + 0.1 * loss
+
+
+def prepare_corpus(
+    items: Sequence[str], config: SudowoodoConfig, rng: np.random.Generator
+) -> List[str]:
+    """Up/down-sample the unlabeled corpus to ``corpus_cap`` items, as the
+    paper fixes its pre-training corpus to 10k by re-sampling."""
+    items = list(items)
+    if config.corpus_cap is None or len(items) == config.corpus_cap:
+        return items
+    if len(items) > config.corpus_cap:
+        chosen = rng.choice(len(items), size=config.corpus_cap, replace=False)
+        return [items[int(i)] for i in chosen]
+    extra = rng.choice(len(items), size=config.corpus_cap - len(items), replace=True)
+    return items + [items[int(i)] for i in extra]
+
+
+def pretrain(
+    corpus: Sequence[str],
+    config: Optional[SudowoodoConfig] = None,
+    encoder: Optional[SudowoodoEncoder] = None,
+) -> PretrainResult:
+    """Run contrastive pre-training over a corpus of serialized data items.
+
+    If ``encoder`` is None a tokenizer is fitted and a fresh encoder built;
+    when ``config.mlm_warm_start_epochs > 0`` the encoder is first warmed up
+    with masked-LM training (the offline stand-in for initializing from a
+    pre-trained LM — Algorithm 1, line 1).
+    """
+    config = config or SudowoodoConfig()
+    config.validate()
+    rngs = RngStream(config.seed)
+    corpus = prepare_corpus(corpus, config, rngs.get("corpus"))
+
+    if encoder is None:
+        tokenizer = build_tokenizer(corpus, config)
+        encoder = SudowoodoEncoder(config, tokenizer)
+        if config.mlm_warm_start_epochs > 0:
+            # The warm-start corpus mixes single items with random pair
+            # concatenations so the encoder has seen `[SEP]`-joined long
+            # sequences before pair fine-tuning — the role RoBerta's
+            # general pre-training plays in the original system.
+            warm_rng = rngs.get("warm-pairs")
+            pair_lines = [
+                corpus[int(warm_rng.integers(len(corpus)))]
+                + " [SEP] "
+                + corpus[int(warm_rng.integers(len(corpus)))]
+                for _ in range(len(corpus) // 2)
+            ]
+            mlm_warm_start(
+                encoder.encoder,
+                tokenizer,
+                list(corpus) + pair_lines,
+                MLMConfig(
+                    epochs=config.mlm_warm_start_epochs,
+                    batch_size=config.pretrain_batch_size,
+                    max_seq_len=config.pair_max_seq_len,
+                    seed=config.seed,
+                ),
+            )
+
+    batcher = ClusterBatcher(
+        corpus,
+        num_clusters=config.num_clusters if config.use_cluster_sampling else 1,
+        rng=rngs.get("clustering"),
+    )
+    optimizer = AdamW(encoder.parameters(), lr=config.pretrain_lr)
+    da_rng = rngs.get("augment")
+    cutoff_rng = rngs.get("cutoff")
+    batch_rng = rngs.get("batches")
+    scheduler = (
+        OperatorScheduler(sorted(EM_OPERATORS), rngs.get("da-scheduler"))
+        if config.da_operator == "auto"
+        else None
+    )
+
+    encoder.train()
+    epoch_losses: List[float] = []
+    for _ in range(config.pretrain_epochs):
+        if config.use_cluster_sampling:
+            batches = batcher.batches(config.pretrain_batch_size, batch_rng)
+        else:
+            batches = batcher.uniform_batches(config.pretrain_batch_size, batch_rng)
+        losses: List[float] = []
+        for batch_indices in batches:
+            batch = [corpus[int(i)] for i in batch_indices]
+            # Line 7 of Algorithm 1: augment and encode both views.
+            operator = scheduler.sample() if scheduler else config.da_operator
+            augmented = augment_batch(batch, da_rng, operator=operator)
+            cutoff = (
+                make_cutoff_transform(
+                    config.cutoff_kind, config.cutoff_ratio, cutoff_rng
+                )
+                if config.use_cutoff
+                else None
+            )
+            z_ori = encoder.project(encoder.encode_training(batch))
+            z_aug = encoder.project(
+                encoder.encode_training(augmented, embedding_transform=cutoff)
+            )
+            # Line 9: Equation 6 (or plain Equation 2 without RR).
+            if config.use_barlow_twins:
+                loss = combined_loss(
+                    z_ori,
+                    z_aug,
+                    temperature=config.temperature,
+                    alpha_bt=config.alpha_bt,
+                    lambda_bt=config.lambda_bt,
+                )
+            else:
+                loss = nt_xent_loss(z_ori, z_aug, temperature=config.temperature)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+            if scheduler:
+                scheduler.update(operator, loss.item())
+        epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+
+    encoder.eval()
+    return PretrainResult(
+        encoder=encoder,
+        epoch_losses=epoch_losses,
+        corpus_size=len(corpus),
+        operator_weights=scheduler.weights() if scheduler else None,
+    )

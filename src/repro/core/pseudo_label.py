@@ -1,0 +1,158 @@
+"""Pseudo-labeling (Section III-C).
+
+For every unlabeled candidate pair, the cosine similarity of the learned
+representations scores match confidence.  Pairs above θ+ get positive
+labels, below θ− negative ones.  Rather than tuning two free thresholds,
+the user fixes a positive ratio ρ (estimable from a handful of labels);
+given ρ and a target pseudo-label count the thresholds are determined by
+similarity percentiles, and θ+ can be refined by hill-climbing over
+fine-tuning trials (the paper uses Optuna-style local search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PseudoLabelSet:
+    """Auto-generated probabilistic labels over candidate pairs."""
+
+    positives: List[Tuple[int, int]]
+    negatives: List[Tuple[int, int]]
+    theta_pos: float
+    theta_neg: float
+
+    def __len__(self) -> int:
+        return len(self.positives) + len(self.negatives)
+
+    def quality(self, matches: Set[Tuple[int, int]]) -> Dict[str, float]:
+        """TPR/TNR of the pseudo labels against ground truth (Table XI)."""
+        tpr = (
+            sum(1 for p in self.positives if p in matches) / len(self.positives)
+            if self.positives
+            else 0.0
+        )
+        tnr = (
+            sum(1 for p in self.negatives if p not in matches)
+            / len(self.negatives)
+            if self.negatives
+            else 0.0
+        )
+        return {"tpr": tpr, "tnr": tnr}
+
+
+def similarity_of_pairs(
+    vectors_a: np.ndarray, vectors_b: np.ndarray, pairs: Sequence[Tuple[int, int]]
+) -> np.ndarray:
+    """Cosine similarity of (a, b) pairs given unit-norm embedding matrices."""
+    left = np.array([p[0] for p in pairs])
+    right = np.array([p[1] for p in pairs])
+    return np.einsum("ij,ij->i", vectors_a[left], vectors_b[right])
+
+
+def generate_pseudo_labels(
+    vectors_a: np.ndarray,
+    vectors_b: np.ndarray,
+    candidate_pairs: Sequence[Tuple[int, int]],
+    num_labels: int,
+    positive_ratio: float,
+    exclude: Optional[Set[Tuple[int, int]]] = None,
+    theta_pos: Optional[float] = None,
+) -> PseudoLabelSet:
+    """Extract ``num_labels`` high-confidence labels from the candidate set.
+
+    The top ``ρ·num_labels`` most similar pairs (above θ+) become positives
+    and the bottom ``(1-ρ)·num_labels`` (below θ−) negatives, enforcing the
+    user-fixed positive ratio ρ.  If ``theta_pos`` is given (e.g. from hill
+    climbing) it overrides the percentile-derived θ+ and the positive count
+    becomes "all candidates above θ+", with θ− still set to keep the ratio.
+    """
+    if not 0 < positive_ratio < 1:
+        raise ValueError("positive_ratio must be in (0, 1)")
+    exclude = exclude or set()
+    pairs = [p for p in candidate_pairs if p not in exclude]
+    if not pairs:
+        return PseudoLabelSet([], [], 1.0, -1.0)
+    sims = similarity_of_pairs(vectors_a, vectors_b, pairs)
+    order = np.argsort(-sims)  # descending similarity
+
+    num_labels = min(num_labels, len(pairs))
+    if theta_pos is None:
+        num_pos = max(1, int(round(num_labels * positive_ratio)))
+    else:
+        num_pos = int((sims >= theta_pos).sum())
+        num_pos = max(1, min(num_pos, num_labels - 1))
+    num_neg = max(1, min(num_labels - num_pos, len(pairs) - num_pos))
+
+    pos_indices = order[:num_pos]
+    neg_indices = order[::-1][:num_neg]
+    positives = [pairs[int(i)] for i in pos_indices]
+    negatives = [pairs[int(i)] for i in neg_indices]
+    return PseudoLabelSet(
+        positives=positives,
+        negatives=negatives,
+        theta_pos=float(sims[pos_indices].min()),
+        theta_neg=float(sims[neg_indices].max()),
+    )
+
+
+def estimate_positive_ratio(
+    labels: Sequence[int], choices: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25)
+) -> float:
+    """Pick ρ from a small menu using a few sampled labels (Section III-C:
+    "this ratio can also be estimated using a few uniformly sampled
+    labels")."""
+    labels = list(labels)
+    if not labels:
+        return choices[1]
+    observed = sum(labels) / len(labels)
+    return min(choices, key=lambda c: abs(c - observed))
+
+
+def hill_climb_threshold(
+    score_fn: Callable[[float], float],
+    initial: float,
+    step: float = 0.05,
+    trials: int = 6,
+    bounds: Tuple[float, float] = (-1.0, 1.0),
+) -> Tuple[float, float]:
+    """Local hill-climbing search for θ+ with a fixed trial budget.
+
+    ``score_fn`` maps a threshold to a quality score (the paper runs a
+    fine-tuning trial per candidate θ+ and scores validation F1).  Starting
+    from ``initial``, the search evaluates neighbours at ±step, moves while
+    improvement holds, and halves the step on stalls.
+
+    Returns ``(best_threshold, best_score)``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    low, high = bounds
+    current = float(np.clip(initial, low, high))
+    best_score = score_fn(current)
+    used = 1
+    current_step = step
+    while used < trials:
+        improved = False
+        for candidate in (current + current_step, current - current_step):
+            if used >= trials:
+                break
+            candidate = float(np.clip(candidate, low, high))
+            if candidate == current:
+                continue
+            score = score_fn(candidate)
+            used += 1
+            if score > best_score:
+                best_score = score
+                current = candidate
+                improved = True
+                break
+        if not improved:
+            current_step /= 2.0
+            if current_step < 1e-4:
+                break
+    return current, best_score

@@ -1,0 +1,68 @@
+"""Entity-matching dataset container mirroring the DeepMatcher layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .records import LabeledPair, PairSplit, Record, Table, serialize_record
+
+
+@dataclass
+class EMDataset:
+    """Two entity tables plus labeled train/valid/test pairs.
+
+    ``matches`` holds the complete ground-truth set of matching
+    ``(a_index, b_index)`` pairs — used to score blocking recall, which the
+    paper computes over positives from all three splits.
+    """
+
+    name: str
+    table_a: Table
+    table_b: Table
+    pairs: PairSplit
+    matches: Set[Tuple[int, int]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def serialize_a(self, index: int) -> str:
+        return serialize_record(self.table_a[index], self.table_a.schema)
+
+    def serialize_b(self, index: int) -> str:
+        return serialize_record(self.table_b[index], self.table_b.schema)
+
+    def serialize_pair(self, pair: LabeledPair) -> Tuple[str, str]:
+        return self.serialize_a(pair.left), self.serialize_b(pair.right)
+
+    def all_items(self) -> List[str]:
+        """Serialized corpus of every entry in both tables — the unlabeled
+        input to contrastive pre-training."""
+        return [self.serialize_a(i) for i in range(len(self.table_a))] + [
+            self.serialize_b(j) for j in range(len(self.table_b))
+        ]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Statistics in the shape of the paper's Table II."""
+        pairs = self.pairs.all_pairs()
+        train_valid = len(self.pairs.train) + len(self.pairs.valid)
+        return {
+            "dataset": self.name,
+            "table_a": len(self.table_a),
+            "table_b": len(self.table_b),
+            "train_valid": train_valid,
+            "test": len(self.pairs.test),
+            "pos_rate": self.pairs.positive_rate(),
+        }
+
+    def sample_labeled(
+        self, budget: int, rng, from_splits: Sequence[str] = ("train", "valid")
+    ) -> List[LabeledPair]:
+        """Uniformly sample a label budget from the given splits — the
+        paper's semi-supervised protocol (500 labels from train+valid)."""
+        pool: List[LabeledPair] = []
+        for split in from_splits:
+            pool.extend(getattr(self.pairs, split))
+        if budget >= len(pool):
+            return list(pool)
+        indices = rng.choice(len(pool), size=budget, replace=False)
+        return [pool[i] for i in sorted(indices)]

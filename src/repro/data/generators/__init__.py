@@ -1,0 +1,61 @@
+"""Synthetic dataset generators (EM benchmarks, dirty tables, column corpus)."""
+
+from .benchmark import (
+    ALL_DATASET_KEYS,
+    EM_DATASET_KEYS,
+    EXTRA_DATASET_KEYS,
+    BenchmarkEntry,
+    benchmark_entry,
+    dataset_statistics,
+    load_em_benchmark,
+)
+from .cleaning import (
+    CLEANING_DATASET_KEYS,
+    FI,
+    MV,
+    TYPO,
+    VAD,
+    CleaningDataset,
+    load_cleaning_dataset,
+)
+from .columns import (
+    SEMANTIC_TYPES,
+    TYPE_REGISTRY,
+    Column,
+    ColumnCorpus,
+    generate_column_corpus,
+)
+from .engine import (
+    DomainSpec,
+    GenerationSpec,
+    corrupt_text,
+    generate_two_table_dataset,
+    jitter_price,
+)
+
+__all__ = [
+    "ALL_DATASET_KEYS",
+    "BenchmarkEntry",
+    "CLEANING_DATASET_KEYS",
+    "CleaningDataset",
+    "Column",
+    "ColumnCorpus",
+    "DomainSpec",
+    "EM_DATASET_KEYS",
+    "EXTRA_DATASET_KEYS",
+    "FI",
+    "GenerationSpec",
+    "MV",
+    "SEMANTIC_TYPES",
+    "TYPE_REGISTRY",
+    "TYPO",
+    "VAD",
+    "benchmark_entry",
+    "corrupt_text",
+    "dataset_statistics",
+    "generate_column_corpus",
+    "generate_two_table_dataset",
+    "jitter_price",
+    "load_cleaning_dataset",
+    "load_em_benchmark",
+]

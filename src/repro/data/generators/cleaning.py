@@ -1,0 +1,428 @@
+"""Dirty-table generators for the data-cleaning experiments.
+
+Reproduces the structure of the four benchmarks in Table III of the paper:
+
+    dataset   size        %error  error types
+    beers     2410 x 11   16%     MV, FI, VAD
+    hospital  1000 x 20    3%     T, VAD
+    rayyan    1000 x 11    9%     MV, T, FI, VAD
+    tax       5000 x 15    4%     T, FI, VAD
+
+A clean table is generated first (with functional dependencies such as
+``zip -> city, state`` and ``brewery_id -> brewery_name, city``), then
+errors of the dataset's types are injected at its rate, remembering ground
+truth.  Error types follow the paper / Baran taxonomy:
+
+* MV  — missing value: the cell is blanked or set to ``N/A``;
+* T   — typo: a character-level edit;
+* FI  — formatting issue: a value rendered in a different convention;
+* VAD — violated attribute dependency: the cell takes a *valid domain
+  value* that contradicts the row's FD determinant (e.g. the city of a
+  different zip code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..records import Record, Table
+from . import vocab
+
+MV, TYPO, FI, VAD = "MV", "T", "FI", "VAD"
+
+
+@dataclass
+class CleaningDataset:
+    """A dirty table with aligned clean ground truth."""
+
+    name: str
+    schema: List[str]
+    clean: Table
+    dirty: Table
+    error_types: Dict[Tuple[int, str], str] = field(default_factory=dict)
+    # Functional dependencies as determinant -> dependents, used by the
+    # FD-aware candidate generator.
+    dependencies: Dict[str, List[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def error_cells(self) -> List[Tuple[int, str]]:
+        return sorted(self.error_types, key=lambda cell: (cell[0], cell[1]))
+
+    def is_error(self, row: int, attribute: str) -> bool:
+        return (row, attribute) in self.error_types
+
+    def ground_truth(self, row: int, attribute: str) -> str:
+        return self.clean[row].get(attribute)
+
+    def error_rate(self) -> float:
+        total = len(self.dirty) * len(self.schema)
+        return len(self.error_types) / total if total else 0.0
+
+    def error_type_names(self) -> List[str]:
+        return sorted(set(self.error_types.values()))
+
+    def stats(self) -> Dict[str, object]:
+        """Row of the paper's Table III (coverage/#cand are added by the
+        candidate generator)."""
+        return {
+            "dataset": self.name,
+            "rows": len(self.dirty),
+            "columns": len(self.schema),
+            "error_rate": self.error_rate(),
+            "error_types": ", ".join(self.error_type_names()),
+        }
+
+
+# ----------------------------------------------------------------------
+# Clean-table builders
+# ----------------------------------------------------------------------
+def _zip_directory(rng: np.random.Generator, count: int) -> Dict[str, Tuple[str, str]]:
+    directory = {}
+    while len(directory) < count:
+        zip_code = str(rng.integers(10000, 99999))
+        directory[zip_code] = (
+            str(rng.choice(vocab.US_CITIES)),
+            str(rng.choice(vocab.US_STATES)),
+        )
+    return directory
+
+
+def _build_beers(rng: np.random.Generator, rows: int) -> Tuple[Table, Dict[str, List[str]]]:
+    breweries = {}
+    for brewery_id in range(max(4, rows // 12)):
+        breweries[str(1000 + brewery_id)] = {
+            "brewery_name": f"{rng.choice(vocab.US_CITIES).split()[0]} "
+            f"{rng.choice(['brewing company', 'brewery', 'meadery', 'ales'])}",
+            "city": str(rng.choice(vocab.US_CITIES)),
+            "state": str(rng.choice(vocab.US_STATES)),
+        }
+    schema = [
+        "beer_id", "beer_name", "style", "ounces", "abv", "ibu",
+        "brewery_id", "brewery_name", "city", "state", "country",
+    ]
+    table = Table(name="beers", schema=schema)
+    brewery_ids = list(breweries)
+    for i in range(rows):
+        brewery_id = str(rng.choice(brewery_ids))
+        info = breweries[brewery_id]
+        table.append(
+            {
+                "beer_id": str(i + 1),
+                "beer_name": " ".join(
+                    rng.choice(vocab.BEER_WORDS, size=2, replace=False)
+                ),
+                "style": str(rng.choice(vocab.BEER_STYLES)),
+                "ounces": str(rng.choice(["12", "16", "24", "32"])),
+                "abv": f"{rng.uniform(0.03, 0.12):.3f}",
+                "ibu": str(rng.integers(5, 120)),
+                "brewery_id": brewery_id,
+                "brewery_name": info["brewery_name"],
+                "city": info["city"],
+                "state": info["state"],
+                "country": "us",
+            }
+        )
+    deps = {"brewery_id": ["brewery_name", "city", "state"]}
+    return table, deps
+
+
+def _build_hospital(rng: np.random.Generator, rows: int) -> Tuple[Table, Dict[str, List[str]]]:
+    zips = _zip_directory(rng, max(6, rows // 10))
+    measures = {}
+    for condition in vocab.CONDITIONS:
+        prefix = vocab.MEASURE_PREFIXES[vocab.CONDITIONS.index(condition)]
+        for variant in range(1, 4):
+            measures[f"{prefix}-{variant}"] = condition
+    schema = [
+        "provider_id", "name", "address", "city", "state", "zip", "county",
+        "phone", "hospital_type", "owner", "emergency", "condition",
+        "measure_code", "measure_name", "score", "sample", "state_avg",
+        "quarter", "beds", "rating",
+    ]
+    table = Table(name="hospital", schema=schema)
+    zip_codes = list(zips)
+    measure_codes = list(measures)
+    for i in range(rows):
+        zip_code = str(rng.choice(zip_codes))
+        city, state = zips[zip_code]
+        code = str(rng.choice(measure_codes))
+        condition = measures[code]
+        table.append(
+            {
+                "provider_id": str(10000 + i),
+                "name": f"{rng.choice(vocab.LAST_NAMES)} memorial hospital",
+                "address": f"{rng.integers(1, 999)} {rng.choice(vocab.STREET_NAMES)}",
+                "city": city,
+                "state": state,
+                "zip": zip_code,
+                "county": str(rng.choice(vocab.LAST_NAMES)),
+                "phone": f"{rng.integers(2000000, 9999999)}",
+                "hospital_type": "acute care",
+                "owner": str(
+                    rng.choice(
+                        ["voluntary non-profit - private", "government", "proprietary"]
+                    )
+                ),
+                "emergency": str(rng.choice(["yes", "no"])),
+                "condition": condition,
+                "measure_code": code,
+                "measure_name": f"{condition} measure {code}",
+                "score": str(rng.integers(10, 100)),
+                "sample": str(rng.integers(10, 900)),
+                "state_avg": f"{state}_{code}",
+                "quarter": str(rng.choice(["q1", "q2", "q3", "q4"])),
+                "beds": str(rng.integers(20, 900)),
+                "rating": str(rng.integers(1, 6)),
+            }
+        )
+    deps = {
+        "zip": ["city", "state"],
+        "measure_code": ["condition"],
+    }
+    return table, deps
+
+
+def _build_rayyan(rng: np.random.Generator, rows: int) -> Tuple[Table, Dict[str, List[str]]]:
+    journals = {}
+    for _ in range(max(5, rows // 14)):
+        title = (
+            f"{rng.choice(['journal', 'annals', 'archives'])} of "
+            f"{rng.choice(vocab.TOPIC_WORDS)} {rng.choice(vocab.TOPIC_WORDS)}"
+        )
+        journals[title] = str(rng.choice(vocab.LANGUAGES))
+    schema = [
+        "article_id", "article_title", "article_language", "journal_title",
+        "journal_issn", "article_created_at", "article_pagination",
+        "author_list", "year", "volume", "issue",
+    ]
+    table = Table(name="rayyan", schema=schema)
+    journal_titles = list(journals)
+    for i in range(rows):
+        journal = str(rng.choice(journal_titles))
+        start_page = int(rng.integers(1, 300))
+        end_page = start_page + int(rng.integers(2, 30))
+        month, day = int(rng.integers(1, 13)), int(rng.integers(1, 29))
+        year = int(rng.integers(1990, 2022))
+        num_authors = int(rng.integers(1, 4))
+        authors = ", ".join(
+            f"{rng.choice(vocab.FIRST_INITIALS)}. {rng.choice(vocab.LAST_NAMES)}"
+            for _ in range(num_authors)
+        )
+        table.append(
+            {
+                "article_id": str(i + 1),
+                "article_title": " ".join(
+                    rng.choice(vocab.TOPIC_WORDS, size=int(rng.integers(4, 8)), replace=False)
+                ),
+                "article_language": journals[journal],
+                "journal_title": journal,
+                "journal_issn": f"{rng.integers(1000, 9999)}-{rng.integers(1000, 9999)}",
+                "article_created_at": f"{month}/{day}/{str(year)[2:]}",
+                "article_pagination": f"{start_page}-{end_page}",
+                "author_list": authors,
+                "year": str(year),
+                "volume": str(rng.integers(1, 60)),
+                "issue": str(rng.integers(1, 12)),
+            }
+        )
+    deps = {"journal_title": ["article_language"]}
+    return table, deps
+
+
+def _build_tax(rng: np.random.Generator, rows: int) -> Tuple[Table, Dict[str, List[str]]]:
+    zips = _zip_directory(rng, max(8, rows // 25))
+    area_codes = {}
+    for zip_code, (_, state) in zips.items():
+        area_codes.setdefault(state, str(rng.integers(200, 999)))
+    schema = [
+        "f_name", "l_name", "gender", "area_code", "phone", "city", "state",
+        "zip", "marital_status", "has_child", "salary", "rate",
+        "single_exemp", "married_exemp", "child_exemp",
+    ]
+    table = Table(name="tax", schema=schema)
+    zip_codes = list(zips)
+    for _ in range(rows):
+        zip_code = str(rng.choice(zip_codes))
+        city, state = zips[zip_code]
+        salary = int(rng.integers(2, 20)) * 5000
+        rate = round(float(salary) / 50000.0 + 1.0, 1)
+        table.append(
+            {
+                "f_name": str(rng.choice(vocab.LAST_NAMES)).title(),
+                "l_name": str(rng.choice(vocab.LAST_NAMES)).title(),
+                "gender": str(rng.choice(["m", "f"])),
+                "area_code": area_codes[state],
+                "phone": f"{rng.integers(200, 999)}-{rng.integers(1000, 9999)}",
+                "city": city,
+                "state": state,
+                "zip": zip_code,
+                "marital_status": str(rng.choice(["s", "m"])),
+                "has_child": str(rng.choice(["y", "n"])),
+                "salary": str(salary),
+                "rate": f"{rate:.1f}",
+                "single_exemp": str(rng.integers(0, 9000)),
+                "married_exemp": str(rng.integers(0, 12000)),
+                "child_exemp": str(rng.integers(0, 4000)),
+            }
+        )
+    deps = {"zip": ["city", "state"], "state": ["area_code"]}
+    return table, deps
+
+
+# ----------------------------------------------------------------------
+# Error injection
+# ----------------------------------------------------------------------
+def _inject_typo(value: str, rng: np.random.Generator) -> str:
+    if len(value) < 2:
+        return value + "x"
+    chars = list(value)
+    op = int(rng.integers(3))
+    pos = int(rng.integers(len(chars) - 1))
+    if op == 0:
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    elif op == 1:
+        chars.insert(pos, chars[pos])
+    else:
+        chars[pos] = "x"
+    return "".join(chars)
+
+
+def _inject_format(value: str, attribute: str, rng: np.random.Generator) -> str:
+    """Render the same value in a different convention."""
+    if attribute == "abv":
+        return f"{float(value) * 100:.1f}%"
+    if attribute == "ounces":
+        return f"{value}.0 ounce"
+    if attribute in ("phone",):
+        return value.replace("-", "")
+    if attribute == "article_pagination":
+        return value.replace("-", "--")
+    if attribute == "article_created_at":
+        return value.replace("/", "-")
+    if attribute in ("salary", "score", "sample"):
+        return f"{int(value):,}"
+    if attribute == "rate":
+        return f"{float(value):.2f}"
+    upper = value.upper()
+    if upper != value:
+        return upper
+    return f" {value} "
+
+
+def _choose_other_value(
+    column: Sequence[str], current: str, rng: np.random.Generator
+) -> str:
+    alternatives = sorted({v for v in column if v != current and v})
+    if not alternatives:
+        return current + "x"
+    return str(alternatives[int(rng.integers(len(alternatives)))])
+
+
+_ERROR_INJECTORS = {
+    MV: lambda value, attr, column, rng: "" if rng.random() < 0.5 else "n/a",
+    TYPO: lambda value, attr, column, rng: _inject_typo(value, rng),
+    FI: lambda value, attr, column, rng: _inject_format(value, attr, rng),
+    VAD: lambda value, attr, column, rng: _choose_other_value(column, value, rng),
+}
+
+
+@dataclass(frozen=True)
+class CleaningEntry:
+    key: str
+    rows: int
+    error_rate: float
+    error_types: Tuple[str, ...]
+    # Attributes eligible for VAD injection (FD-dependent ones).
+    vad_attributes: Tuple[str, ...]
+    builder: Callable
+    seed: int
+
+
+_CLEANING_REGISTRY: Dict[str, CleaningEntry] = {
+    entry.key: entry
+    for entry in [
+        CleaningEntry(
+            "beers", 2410, 0.16, (MV, FI, VAD),
+            ("brewery_name", "city", "state"), _build_beers, 201,
+        ),
+        CleaningEntry(
+            "hospital", 1000, 0.03, (TYPO, VAD),
+            ("city", "state", "condition"), _build_hospital, 202,
+        ),
+        CleaningEntry(
+            "rayyan", 1000, 0.09, (MV, TYPO, FI, VAD),
+            ("article_language",), _build_rayyan, 203,
+        ),
+        CleaningEntry(
+            "tax", 5000, 0.04, (TYPO, FI, VAD),
+            ("city", "state", "area_code"), _build_tax, 204,
+        ),
+    ]
+}
+
+CLEANING_DATASET_KEYS = ["beers", "hospital", "rayyan", "tax"]
+
+
+def load_cleaning_dataset(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> CleaningDataset:
+    """Generate the named dirty-table benchmark at the given scale."""
+    if name not in _CLEANING_REGISTRY:
+        known = ", ".join(sorted(_CLEANING_REGISTRY))
+        raise KeyError(f"unknown cleaning dataset {name!r}; known: {known}")
+    entry = _CLEANING_REGISTRY[name]
+    rng = np.random.default_rng(entry.seed if seed is None else seed)
+    rows = max(20, int(entry.rows * scale))
+    clean, dependencies = entry.builder(rng, rows)
+    dirty, error_types = _inject_errors(clean, entry, rng)
+    return CleaningDataset(
+        name=name,
+        schema=list(clean.schema),
+        clean=clean,
+        dirty=dirty,
+        error_types=error_types,
+        dependencies=dependencies,
+    )
+
+
+def _inject_errors(
+    clean: Table, entry: CleaningEntry, rng: np.random.Generator
+) -> Tuple[Table, Dict[Tuple[int, str], str]]:
+    columns = {attr: clean.column_values(attr) for attr in clean.schema}
+    num_cells = len(clean) * len(clean.schema)
+    num_errors = int(round(num_cells * entry.error_rate))
+
+    # Sample distinct cells; id-like first columns are left intact so rows
+    # stay identifiable (matching the benchmarks, whose key columns are clean).
+    eligible_attrs = [a for a in clean.schema if not a.endswith("_id") and a != "provider_id"]
+    cells: Set[Tuple[int, str]] = set()
+    while len(cells) < num_errors:
+        row = int(rng.integers(len(clean)))
+        attr = str(rng.choice(eligible_attrs))
+        cells.add((row, attr))
+
+    dirty = Table(name=f"{clean.name}-dirty", schema=list(clean.schema))
+    for record in clean:
+        dirty.append(dict(record.attributes))
+
+    error_types: Dict[Tuple[int, str], str] = {}
+    for row, attr in sorted(cells):
+        allowed = [
+            t
+            for t in entry.error_types
+            if t != VAD or attr in entry.vad_attributes
+        ]
+        error_type = str(rng.choice(allowed))
+        original = dirty[row].get(attr)
+        corrupted = _ERROR_INJECTORS[error_type](
+            original, attr, columns[attr], rng
+        )
+        if corrupted == original:
+            corrupted = _inject_typo(original, rng)
+            error_type = TYPO if TYPO in entry.error_types else error_type
+        dirty.records[row] = dirty.records[row].with_value(attr, corrupted)
+        error_types[(row, attr)] = error_type
+    return dirty, error_types

@@ -1,0 +1,376 @@
+"""Domain specs for the synthetic EM benchmarks.
+
+Five domains cover the eight paper datasets:
+
+* products  -> Abt-Buy, Amazon-Google, Walmart-Amazon (varying hardness)
+* citations -> DBLP-ACM (clean/clean) and DBLP-Scholar (clean/noisy)
+* restaurants -> Fodors-Zagats
+* music     -> iTunes-Amazon
+* beer      -> Beer
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .engine import DomainSpec, corrupt_text, jitter_price
+from . import vocab
+
+Entity = Dict[str, str]
+
+
+# ----------------------------------------------------------------------
+# Products (Abt-Buy / Amazon-Google / Walmart-Amazon)
+# ----------------------------------------------------------------------
+def _sample_model_number(rng: np.random.Generator) -> str:
+    letters = "".join(
+        rng.choice(list("abcdefghjkmnpqrstuvwxyz"), size=int(rng.integers(2, 4)))
+    )
+    digits = "".join(rng.choice(list("0123456789"), size=int(rng.integers(3, 5))))
+    return f"{letters}{digits}"
+
+
+def _sample_product(rng: np.random.Generator) -> Entity:
+    brand = str(rng.choice(vocab.BRANDS))
+    line = str(rng.choice(vocab.PRODUCT_LINES))
+    ptype = str(rng.choice(vocab.PRODUCT_TYPES))
+    adjective = str(rng.choice(vocab.ADJECTIVES))
+    color = str(rng.choice(vocab.COLORS))
+    model = _sample_model_number(rng)
+    price = float(np.round(rng.uniform(8.0, 900.0), 2))
+    edition = str(rng.integers(1, 9))
+    return {
+        "brand": brand,
+        "line": line,
+        "type": ptype,
+        "adjective": adjective,
+        "color": color,
+        "model": model,
+        "edition": edition,
+        "price": f"{price:.2f}",
+        "category": str(rng.choice(vocab.CATEGORIES)),
+    }
+
+
+def _product_sibling(entity: Entity, rng: np.random.Generator) -> Entity:
+    """Same brand/line/type — different model number and edition.
+
+    These are the "adventure workshop 7th edition vs 8th edition" style
+    confusables from the paper's Figure 1.
+    """
+    sibling = dict(entity)
+    sibling["model"] = _sample_model_number(rng)
+    sibling["edition"] = str((int(entity["edition"]) % 8) + 1)
+    if rng.random() < 0.7:
+        sibling["color"] = str(rng.choice(vocab.COLORS))
+    if rng.random() < 0.6:
+        sibling["adjective"] = str(rng.choice(vocab.ADJECTIVES))
+    sibling["price"] = f"{float(entity['price']) * rng.uniform(0.6, 1.4):.2f}"
+    return sibling
+
+
+def _product_title(entity: Entity) -> str:
+    return (
+        f"{entity['brand']} {entity['line']} {entity['adjective']} "
+        f"{entity['color']} {entity['type']} {entity['model']} "
+        f"{entity['edition']}th edition"
+    )
+
+
+def _product_render_a(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+    return {
+        "title": _product_title(entity),
+        "manufacturer": entity["brand"],
+        "price": entity["price"],
+    }
+
+
+def _make_product_render_b(hardness: float):
+    def render(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+        title = corrupt_text(_product_title(entity), rng, hardness)
+        # The identifying model number survives corruption — the deep key
+        # representation learning is supposed to pick up.
+        if entity["model"] not in title:
+            title = f"{title} {entity['model']}"
+        manufacturer = "" if rng.random() < 0.4 * hardness else entity["brand"]
+        price = jitter_price(float(entity["price"]), rng, hardness)
+        return {
+            "title": title,
+            "category": entity["category"],
+            "manufacturer": manufacturer,
+            "price": f"{price:.2f}",
+        }
+
+    return render
+
+
+def product_domain(name: str, hardness: float) -> DomainSpec:
+    return DomainSpec(
+        name=name,
+        schema_a=["title", "manufacturer", "price"],
+        schema_b=["title", "category", "manufacturer", "price"],
+        sample_entity=_sample_product,
+        render_a=_product_render_a,
+        render_b=_make_product_render_b(hardness),
+        make_sibling=_product_sibling,
+    )
+
+
+# ----------------------------------------------------------------------
+# Citations (DBLP-ACM / DBLP-Scholar)
+# ----------------------------------------------------------------------
+def _sample_citation(rng: np.random.Generator) -> Entity:
+    length = int(rng.integers(4, 8))
+    words = list(rng.choice(vocab.TOPIC_WORDS, size=length, replace=False))
+    if rng.random() < 0.5:
+        connector = str(rng.choice(vocab.TOPIC_CONNECTORS))
+        words.insert(int(rng.integers(1, len(words))), connector)
+    title = " ".join(words)
+    num_authors = int(rng.integers(1, 4))
+    authors = ", ".join(
+        f"{rng.choice(vocab.FIRST_INITIALS)} {rng.choice(vocab.LAST_NAMES)}"
+        for _ in range(num_authors)
+    )
+    venue = str(rng.choice(vocab.VENUES_FULL))
+    year = str(rng.integers(1995, 2022))
+    return {"title": title, "authors": authors, "venue": venue, "year": year}
+
+
+def _citation_sibling(entity: Entity, rng: np.random.Generator) -> Entity:
+    """Same venue and overlapping title words, different paper."""
+    sibling = dict(entity)
+    words = entity["title"].split()
+    replace_at = int(rng.integers(len(words)))
+    words[replace_at] = str(rng.choice(vocab.TOPIC_WORDS))
+    extra = str(rng.choice(vocab.TOPIC_WORDS))
+    sibling["title"] = " ".join(words + [extra])
+    sibling["year"] = str(rng.integers(1995, 2022))
+    sibling["authors"] = (
+        f"{rng.choice(vocab.FIRST_INITIALS)} {rng.choice(vocab.LAST_NAMES)}"
+    )
+    return sibling
+
+
+def _citation_render_a(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+    return {
+        "title": entity["title"],
+        "authors": entity["authors"],
+        "venue": vocab.VENUES_ABBREV[entity["venue"]],
+        "year": entity["year"],
+    }
+
+
+def _make_citation_render_b(hardness: float, scholar_style: bool):
+    def render(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+        title = corrupt_text(entity["title"], rng, hardness)
+        authors = entity["authors"]
+        venue = vocab.VENUES_ABBREV[entity["venue"]]
+        year = entity["year"]
+        if scholar_style:
+            # Google-Scholar-style sparsity: drop venue/year/authors often.
+            if rng.random() < 0.5:
+                venue = ""
+            if rng.random() < 0.4:
+                year = ""
+            if rng.random() < 0.35:
+                authors = ""
+            elif rng.random() < 0.5:
+                authors = authors.split(",")[0]
+        else:
+            venue = entity["venue"]  # full venue string instead of acronym
+        return {"title": title, "authors": authors, "venue": venue, "year": year}
+
+    return render
+
+
+def citation_domain(name: str, hardness: float, scholar_style: bool) -> DomainSpec:
+    return DomainSpec(
+        name=name,
+        schema_a=["title", "authors", "venue", "year"],
+        schema_b=["title", "authors", "venue", "year"],
+        sample_entity=_sample_citation,
+        render_a=_citation_render_a,
+        render_b=_make_citation_render_b(hardness, scholar_style),
+        make_sibling=_citation_sibling,
+    )
+
+
+# ----------------------------------------------------------------------
+# Restaurants (Fodors-Zagats)
+# ----------------------------------------------------------------------
+def _sample_restaurant(rng: np.random.Generator) -> Entity:
+    name = (
+        f"{rng.choice(vocab.SONG_WORDS)} {rng.choice(vocab.RESTAURANT_WORDS)}"
+    )
+    street_no = str(rng.integers(1, 999))
+    street = str(rng.choice(vocab.STREET_NAMES))
+    city = str(rng.choice(vocab.US_CITIES))
+    phone = f"{rng.integers(200, 999)}-{rng.integers(200, 999)}-{rng.integers(1000, 9999)}"
+    cuisine = str(rng.choice(vocab.CUISINES))
+    return {
+        "name": name,
+        "address": f"{street_no} {street}",
+        "city": city,
+        "phone": phone,
+        "cuisine": cuisine,
+    }
+
+
+def _restaurant_sibling(entity: Entity, rng: np.random.Generator) -> Entity:
+    sibling = dict(entity)
+    sibling["address"] = f"{rng.integers(1, 999)} {rng.choice(vocab.STREET_NAMES)}"
+    sibling["phone"] = (
+        f"{rng.integers(200, 999)}-{rng.integers(200, 999)}-{rng.integers(1000, 9999)}"
+    )
+    sibling["name"] = (
+        f"{rng.choice(vocab.SONG_WORDS)} {entity['name'].split()[-1]}"
+    )
+    return sibling
+
+
+def _restaurant_render_a(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+    return {k: entity[k] for k in ("name", "address", "city", "phone", "cuisine")}
+
+
+def _make_restaurant_render_b(hardness: float):
+    def render(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+        return {
+            "name": corrupt_text(entity["name"], rng, hardness),
+            "address": corrupt_text(entity["address"], rng, hardness * 0.5),
+            "city": entity["city"],
+            "phone": entity["phone"].replace("-", "/")
+            if rng.random() < 0.5
+            else entity["phone"],
+            "cuisine": entity["cuisine"],
+        }
+
+    return render
+
+
+def restaurant_domain(name: str, hardness: float) -> DomainSpec:
+    return DomainSpec(
+        name=name,
+        schema_a=["name", "address", "city", "phone", "cuisine"],
+        schema_b=["name", "address", "city", "phone", "cuisine"],
+        sample_entity=_sample_restaurant,
+        render_a=_restaurant_render_a,
+        render_b=_make_restaurant_render_b(hardness),
+        make_sibling=_restaurant_sibling,
+    )
+
+
+# ----------------------------------------------------------------------
+# Music (iTunes-Amazon)
+# ----------------------------------------------------------------------
+def _sample_song(rng: np.random.Generator) -> Entity:
+    song = " ".join(rng.choice(vocab.SONG_WORDS, size=2, replace=False))
+    artist = f"{rng.choice(vocab.FIRST_INITIALS)} {rng.choice(vocab.LAST_NAMES)}"
+    album = " ".join(rng.choice(vocab.SONG_WORDS, size=2, replace=False))
+    genre = str(rng.choice(vocab.GENRES))
+    time = f"{rng.integers(2, 6)}:{rng.integers(10, 59)}"
+    price = f"{rng.uniform(0.69, 1.29):.2f}"
+    return {
+        "song": song,
+        "artist": artist,
+        "album": album,
+        "genre": genre,
+        "time": time,
+        "price": price,
+    }
+
+
+def _song_sibling(entity: Entity, rng: np.random.Generator) -> Entity:
+    sibling = dict(entity)
+    # Same artist and album, different track.
+    sibling["song"] = " ".join(rng.choice(vocab.SONG_WORDS, size=2, replace=False))
+    sibling["time"] = f"{rng.integers(2, 6)}:{rng.integers(10, 59)}"
+    return sibling
+
+
+def _song_render_a(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+    return {k: entity[k] for k in ("song", "artist", "album", "genre", "time", "price")}
+
+
+def _make_song_render_b(hardness: float):
+    def render(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+        song = entity["song"]
+        if rng.random() < 0.4 * hardness:
+            song = f"{song} ( album version )"
+        return {
+            "song": song,
+            "artist": entity["artist"],
+            "album": corrupt_text(entity["album"], rng, hardness * 0.6),
+            "genre": entity["genre"],
+            "time": entity["time"],
+            "price": entity["price"],
+        }
+
+    return render
+
+
+def music_domain(name: str, hardness: float) -> DomainSpec:
+    schema = ["song", "artist", "album", "genre", "time", "price"]
+    return DomainSpec(
+        name=name,
+        schema_a=schema,
+        schema_b=list(schema),
+        sample_entity=_sample_song,
+        render_a=_song_render_a,
+        render_b=_make_song_render_b(hardness),
+        make_sibling=_song_sibling,
+    )
+
+
+# ----------------------------------------------------------------------
+# Beer
+# ----------------------------------------------------------------------
+def _sample_beer(rng: np.random.Generator) -> Entity:
+    name = " ".join(rng.choice(vocab.BEER_WORDS, size=2, replace=False))
+    style = str(rng.choice(vocab.BEER_STYLES))
+    brewery = (
+        f"{rng.choice(vocab.US_CITIES).split()[0]} "
+        f"{rng.choice(['brewing', 'brewery', 'meadery', 'ales'])}"
+    )
+    abv = f"{rng.uniform(0.03, 0.12):.3f}"
+    return {"name": name, "style": style, "brewery": brewery, "abv": abv}
+
+
+def _beer_sibling(entity: Entity, rng: np.random.Generator) -> Entity:
+    sibling = dict(entity)
+    sibling["name"] = " ".join(rng.choice(vocab.BEER_WORDS, size=2, replace=False))
+    sibling["abv"] = f"{rng.uniform(0.03, 0.12):.3f}"
+    return sibling
+
+
+def _beer_render_a(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+    return {k: entity[k] for k in ("name", "style", "brewery", "abv")}
+
+
+def _make_beer_render_b(hardness: float):
+    def render(entity: Entity, rng: np.random.Generator) -> Dict[str, str]:
+        abv = entity["abv"]
+        if rng.random() < 0.5:
+            abv = f"{float(abv) * 100:.1f}%"
+        return {
+            "name": corrupt_text(entity["name"], rng, hardness),
+            "style": entity["style"],
+            "brewery": corrupt_text(entity["brewery"], rng, hardness * 0.5),
+            "abv": abv,
+        }
+
+    return render
+
+
+def beer_domain(name: str, hardness: float) -> DomainSpec:
+    schema = ["name", "style", "brewery", "abv"]
+    return DomainSpec(
+        name=name,
+        schema_a=schema,
+        schema_b=list(schema),
+        sample_entity=_sample_beer,
+        render_a=_beer_render_a,
+        render_b=_make_beer_render_b(hardness),
+        make_sibling=_beer_sibling,
+    )

@@ -1,0 +1,255 @@
+"""Two-table entity-matching dataset engine.
+
+Builds seeded synthetic versions of the DeepMatcher benchmarks.  Each
+*domain* (products, citations, restaurants, ...) plugs three callbacks into
+the engine:
+
+* ``sample_entity``  — draw a canonical real-world entity;
+* ``render_a`` / ``render_b`` — materialize the entity as a row of table A
+  (clean view) and table B (corrupted view whose noise level is the
+  dataset's ``hardness``);
+* ``make_sibling`` — derive a *distinct but confusable* entity (e.g. the
+  same product line with a different model number), the source of hard
+  negatives.
+
+The engine controls the properties the paper's evaluation depends on:
+
+* matched pairs share a deep identifying key but can diverge arbitrarily at
+  the surface (low positive-class Jaccard at high hardness);
+* sibling negatives overlap heavily at the surface (high negative-class
+  Jaccard), which is what makes naive lexical matchers fail and separates
+  difficulty levels in Table XVI;
+* the labeled pair sets have the positive rates of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...text import word_tokenize
+from ..em_dataset import EMDataset
+from ..records import LabeledPair, PairSplit, Table
+from .vocab import ABBREVIATIONS
+
+Entity = Dict[str, str]
+Renderer = Callable[[Entity, np.random.Generator], Dict[str, str]]
+
+
+@dataclass
+class DomainSpec:
+    """Callbacks and schemas describing one benchmark domain."""
+
+    name: str
+    schema_a: List[str]
+    schema_b: List[str]
+    sample_entity: Callable[[np.random.Generator], Entity]
+    render_a: Renderer
+    render_b: Renderer
+    make_sibling: Callable[[Entity, np.random.Generator], Entity]
+
+
+@dataclass
+class GenerationSpec:
+    """Size / difficulty parameters for one dataset instance."""
+
+    size_a: int
+    size_b: int
+    num_pairs: int
+    positive_rate: float
+    hardness: float
+    sibling_fraction: float = 0.3
+    hard_negative_fraction: float = 0.5
+    seed: int = 0
+
+
+# ----------------------------------------------------------------------
+# Text corruption utilities shared by the domain renderers
+# ----------------------------------------------------------------------
+def corrupt_text(
+    text: str,
+    rng: np.random.Generator,
+    hardness: float,
+    abbreviations: Optional[Dict[str, str]] = None,
+) -> str:
+    """Noise a string proportionally to ``hardness`` in [0, 1].
+
+    Applies, each with probability scaled by hardness: abbreviation
+    rewrites, token drops, token transpositions, and character typos.
+    The result keeps at least one token.
+    """
+    if hardness <= 0:
+        return text
+    abbreviations = abbreviations if abbreviations is not None else ABBREVIATIONS
+    tokens = text.split()
+    if not tokens:
+        return text
+
+    result: List[str] = []
+    for token in tokens:
+        roll = rng.random()
+        if roll < 0.22 * hardness and token in abbreviations:
+            result.append(abbreviations[token])
+        elif roll < 0.22 * hardness + 0.20 * hardness and len(tokens) > 2:
+            continue  # drop the token
+        elif roll < 0.22 * hardness + 0.20 * hardness + 0.06 * hardness and len(token) > 3:
+            result.append(_typo(token, rng))
+        else:
+            result.append(token)
+    if not result:
+        result = [tokens[0]]
+    if rng.random() < 0.3 * hardness and len(result) > 2:
+        i = rng.integers(len(result) - 1)
+        result[i], result[i + 1] = result[i + 1], result[i]
+    return " ".join(result)
+
+
+def _typo(token: str, rng: np.random.Generator) -> str:
+    """One character-level edit: swap, delete, or replace."""
+    chars = list(token)
+    op = rng.integers(3)
+    pos = int(rng.integers(len(chars) - 1))
+    if op == 0:
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    elif op == 1:
+        del chars[pos]
+    else:
+        chars[pos] = chr(ord("a") + int(rng.integers(26)))
+    return "".join(chars)
+
+
+def jitter_price(price: float, rng: np.random.Generator, hardness: float) -> float:
+    """Perturb a price the way marketplaces disagree (up to ~40% at h=1)."""
+    scale = 1.0 + rng.normal(0.0, 0.15 * hardness)
+    return round(max(0.5, price * scale), 2)
+
+
+# ----------------------------------------------------------------------
+# Dataset assembly
+# ----------------------------------------------------------------------
+def generate_two_table_dataset(
+    domain: DomainSpec, spec: GenerationSpec
+) -> EMDataset:
+    """Build a complete :class:`EMDataset` for a domain.
+
+    Table layout: the first ``num_matches`` entities appear in both tables
+    (B holds the corrupted view); remaining rows are fillers — a mix of
+    fresh entities and siblings of matched ones.  Row orders are shuffled
+    so positional leakage is impossible.
+    """
+    rng = np.random.default_rng(spec.seed)
+    num_positives = max(2, int(round(spec.num_pairs * spec.positive_rate)))
+    num_matches = min(num_positives, spec.size_a, spec.size_b)
+    if num_matches < num_positives:
+        # Table-size caps limit how many true matches exist; shrink the pair
+        # budget so the labeled positive rate stays at the paper's value.
+        spec = GenerationSpec(**{**spec.__dict__})
+        spec.num_pairs = max(10, int(num_matches / max(spec.positive_rate, 1e-9)))
+
+    core = [domain.sample_entity(rng) for _ in range(num_matches)]
+    entities_a = list(core)
+    entities_b = list(core)
+    # (matched A entity index, entity index in entities_b) of each sibling.
+    sibling_of_a: List[Tuple[int, int]] = []
+
+    # Fill table A.
+    while len(entities_a) < spec.size_a:
+        if core and rng.random() < spec.sibling_fraction:
+            entities_a.append(domain.make_sibling(core[rng.integers(len(core))], rng))
+        else:
+            entities_a.append(domain.sample_entity(rng))
+    # Fill table B, remembering which rows are siblings of matched entities
+    # (those become hard negatives).
+    while len(entities_b) < spec.size_b:
+        if core and rng.random() < spec.sibling_fraction:
+            source = int(rng.integers(len(core)))
+            sibling = domain.make_sibling(core[source], rng)
+            sibling_of_a.append((source, len(entities_b)))
+            entities_b.append(sibling)
+        else:
+            entities_b.append(domain.sample_entity(rng))
+
+    order_a = rng.permutation(len(entities_a))
+    order_b = rng.permutation(len(entities_b))
+    position_a = np.empty_like(order_a)
+    position_a[order_a] = np.arange(len(order_a))
+    position_b = np.empty_like(order_b)
+    position_b[order_b] = np.arange(len(order_b))
+
+    table_a = Table(name=f"{domain.name}-A", schema=list(domain.schema_a))
+    for original in order_a:
+        table_a.append(domain.render_a(entities_a[original], rng))
+    table_b = Table(name=f"{domain.name}-B", schema=list(domain.schema_b))
+    for original in order_b:
+        table_b.append(domain.render_b(entities_b[original], rng))
+
+    matches: Set[Tuple[int, int]] = {
+        (int(position_a[i]), int(position_b[i])) for i in range(num_matches)
+    }
+
+    pairs = _build_labeled_pairs(
+        spec, rng, num_matches, position_a, position_b, sibling_of_a, len(entities_b)
+    )
+    return EMDataset(
+        name=domain.name,
+        table_a=table_a,
+        table_b=table_b,
+        pairs=pairs,
+        matches=matches,
+    )
+
+
+def _build_labeled_pairs(
+    spec: GenerationSpec,
+    rng: np.random.Generator,
+    num_matches: int,
+    position_a: np.ndarray,
+    position_b: np.ndarray,
+    sibling_of_a: Sequence[Tuple[int, int]],
+    num_entities_b: int,
+) -> PairSplit:
+    positives = [
+        LabeledPair(int(position_a[i]), int(position_b[i]), 1)
+        for i in range(num_matches)
+    ]
+    num_negatives = max(1, spec.num_pairs - len(positives))
+
+    # Hard negatives: a matched A row against a B sibling of its entity.
+    hard: List[LabeledPair] = []
+    sibling_positions = [
+        (source, int(position_b[entity_index]))
+        for source, entity_index in sibling_of_a
+    ]
+    rng.shuffle(sibling_positions)
+    target_hard = int(num_negatives * spec.hard_negative_fraction)
+    for source, b_position in sibling_positions[:target_hard]:
+        hard.append(LabeledPair(int(position_a[source]), b_position, 0))
+
+    # Random negatives: uniformly sampled non-matching pairs.
+    seen: Set[Tuple[int, int]] = {(p.left, p.right) for p in positives}
+    seen.update((p.left, p.right) for p in hard)
+    random_negatives: List[LabeledPair] = []
+    attempts = 0
+    while len(random_negatives) < num_negatives - len(hard) and attempts < num_negatives * 50:
+        attempts += 1
+        left = int(rng.integers(len(position_a)))
+        right = int(rng.integers(num_entities_b))
+        key = (left, right)
+        if key in seen:
+            continue
+        seen.add(key)
+        random_negatives.append(LabeledPair(left, right, 0))
+
+    all_pairs = positives + hard + random_negatives
+    rng.shuffle(all_pairs)
+    # The original datasets are split 3:1:1.
+    n = len(all_pairs)
+    train_end = int(n * 0.6)
+    valid_end = int(n * 0.8)
+    return PairSplit(
+        train=all_pairs[:train_end],
+        valid=all_pairs[train_end:valid_end],
+        test=all_pairs[valid_end:],
+    )

@@ -1,0 +1,226 @@
+"""Word pools for the synthetic benchmark generators.
+
+The generators replace the DeepMatcher / data-cleaning / VizNet corpora
+(unavailable offline).  Pools are intentionally modest: vocabulary overlap
+across entities is what makes matching non-trivial, exactly as in the real
+product/citation data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _synth_words(count: int, seed: int, prefix_pool, suffix_pool) -> list:
+    """Deterministically synthesize pronounceable filler words.
+
+    Large pools keep *accidental* near-duplicate entities rare, so the only
+    high-similarity negatives are the deliberately generated siblings — the
+    property real product catalogs have (thousands of distinct products).
+    """
+    rng = np.random.default_rng(seed)
+    words = set()
+    while len(words) < count:
+        word = str(rng.choice(prefix_pool)) + str(rng.choice(suffix_pool))
+        words.add(word)
+    return sorted(words)
+
+
+_PREFIXES = [
+    "bel", "cor", "dan", "fir", "gal", "hel", "jar", "kel", "lor", "mar",
+    "nor", "pol", "quin", "ral", "sar", "tor", "ul", "ver", "wil", "zan",
+]
+_SUFFIXES = [
+    "do", "fin", "gan", "ion", "ka", "lin", "mon", "nex", "ra", "son",
+    "tas", "tic", "va", "wick", "zo",
+]
+
+BRANDS = [
+    "acme", "zenith", "nordic", "apex", "lumina", "vertex", "solstice",
+    "quantum", "pinnacle", "aurora", "cascade", "ember", "fusion", "gala",
+    "halo", "ion", "krypton", "meridian", "nimbus", "orion",
+] + _synth_words(40, 11, _PREFIXES, _SUFFIXES)
+
+PRODUCT_LINES = [
+    "immersion", "workshop", "studio", "master", "voyager", "explorer",
+    "navigator", "commander", "precision", "elite", "classic", "premier",
+    "ultra", "compact", "portable", "wireless", "digital", "turbo",
+    "advance", "prime",
+] + _synth_words(40, 12, _PREFIXES, _SUFFIXES)
+
+PRODUCT_TYPES = [
+    "speaker", "keyboard", "monitor", "printer", "camera", "router",
+    "scanner", "headset", "charger", "adapter", "projector", "tablet",
+    "drive", "mouse", "microphone", "webcam", "dock", "hub", "case",
+    "stand",
+] + _synth_words(30, 13, _PREFIXES, _SUFFIXES)
+
+CATEGORIES = [
+    "electronics", "computers", "audio", "office", "photography",
+    "networking", "accessories", "software", "storage", "gaming",
+]
+
+ADJECTIVES = [
+    "deluxe", "professional", "standard", "premium", "essential",
+    "complete", "advanced", "basic", "extended", "limited",
+]
+
+COLORS = ["black", "white", "silver", "blue", "red", "gray", "green"]
+
+# Surface-form rewrites applied when corrupting the matched view of an
+# entity — mirrors the abbreviation noise in Abt-Buy / Walmart-Amazon
+# ("immersion" -> "immers", "deluxe" -> "dlux" in the paper's Figure 1).
+ABBREVIATIONS = {
+    "immersion": "immers",
+    "deluxe": "dlux",
+    "professional": "pro",
+    "standard": "std",
+    "premium": "prem",
+    "essential": "essntl",
+    "complete": "compl",
+    "advanced": "adv",
+    "extended": "ext",
+    "limited": "ltd",
+    "wireless": "wless",
+    "digital": "dgtl",
+    "portable": "prtbl",
+    "compact": "cmpct",
+    "monitor": "mntr",
+    "keyboard": "kbd",
+    "microphone": "mic",
+    "photography": "photo",
+    "electronics": "elec",
+    "accessories": "accs",
+}
+
+# Synonym table shared with the `token_repl` / `token_insert` DA operators.
+SYNONYMS = {
+    "deluxe": ["premium", "dlux"],
+    "premium": ["deluxe", "prem"],
+    "professional": ["pro", "expert"],
+    "standard": ["basic", "std"],
+    "complete": ["full", "compl"],
+    "advanced": ["adv", "expert"],
+    "wireless": ["cordless", "wless"],
+    "portable": ["mobile", "prtbl"],
+    "compact": ["small", "cmpct"],
+    "black": ["dark"],
+    "white": ["light"],
+    "speaker": ["loudspeaker"],
+    "monitor": ["display", "screen"],
+    "drive": ["disk"],
+    "charger": ["adapter"],
+    "classic": ["vintage"],
+    "grade": ["level"],
+    "edition": ["version", "release"],
+    "workshop": ["studio"],
+    "spanish": ["espanol"],
+}
+
+TOPIC_WORDS = [
+    "ontologies", "databases", "learning", "neural", "entity", "matching",
+    "query", "optimization", "distributed", "systems", "graph", "mining",
+    "semantic", "knowledge", "management", "integration", "streams",
+    "indexing", "transactions", "probabilistic", "inference", "clustering",
+    "representation", "retrieval", "language", "models", "scalable",
+    "adaptive", "federated", "temporal", "spatial", "privacy",
+] + _synth_words(40, 14, _PREFIXES, _SUFFIXES)
+
+TOPIC_CONNECTORS = ["for", "with", "via", "using", "toward", "beyond"]
+
+LAST_NAMES = [
+    "smith", "garcia", "chen", "mueller", "tanaka", "kowalski", "rossi",
+    "silva", "kim", "patel", "novak", "jensen", "dubois", "haddad",
+    "okafor", "lindqvist", "moreau", "fischer", "yamamoto", "costa",
+    "petrov", "nilsson", "oconnor", "varga", "stein",
+] + _synth_words(35, 15, _PREFIXES, _SUFFIXES)
+
+SONG_WORDS_EXTRA = _synth_words(25, 16, _PREFIXES, _SUFFIXES)
+
+FIRST_INITIALS = list("abcdefghijklmnopqrstuvwyz")
+
+VENUES_FULL = [
+    "international conference on data engineering",
+    "conference on management of data",
+    "very large data bases",
+    "international conference on machine learning",
+    "knowledge discovery and data mining",
+    "conference on information and knowledge management",
+    "extending database technology",
+    "innovative data systems research",
+]
+
+VENUES_ABBREV = {
+    "international conference on data engineering": "icde",
+    "conference on management of data": "sigmod",
+    "very large data bases": "vldb",
+    "international conference on machine learning": "icml",
+    "knowledge discovery and data mining": "kdd",
+    "conference on information and knowledge management": "cikm",
+    "extending database technology": "edbt",
+    "innovative data systems research": "cidr",
+}
+
+US_CITIES = [
+    "new york", "los angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas", "austin",
+    "seattle", "denver", "boston", "portland", "madison", "redmond",
+]
+
+EU_CITIES = [
+    "berlin", "marburg", "stollberg", "pratteln", "osnabruck", "vienna",
+    "prague", "krakow", "zurich", "lyon", "porto", "ghent", "malmo",
+    "turin", "leipzig", "graz",
+]
+
+US_STATES = [
+    "al", "ak", "az", "ca", "co", "ct", "fl", "ga", "il", "la", "ma",
+    "nc", "nj", "nv", "ny", "or", "pa", "tx", "wa", "wi",
+]
+
+STREET_NAMES = [
+    "main st", "oak ave", "maple dr", "cedar ln", "pine rd", "elm st",
+    "lake view blvd", "hill crest rd", "park ave", "river walk",
+]
+
+CUISINES = [
+    "italian", "french", "mexican", "japanese", "thai", "indian",
+    "american", "mediterranean", "korean", "vietnamese",
+]
+
+RESTAURANT_WORDS = [
+    "bistro", "grill", "kitchen", "table", "garden", "corner", "house",
+    "cafe", "tavern", "diner",
+]
+
+GENRES = ["rock", "jazz", "folk", "electronic", "classical", "hip hop", "blues", "pop"]
+
+SONG_WORDS = [
+    "midnight", "river", "echo", "golden", "shadow", "horizon", "ember",
+    "velvet", "thunder", "whisper", "crystal", "wander", "solace",
+    "drift", "aurora", "mirage",
+]
+
+BEER_STYLES = [
+    "american ipa", "pale ale", "stout", "porter", "lager", "pilsner",
+    "wheat ale", "amber ale", "saison", "cider", "mead",
+]
+
+BEER_WORDS = [
+    "hoppy", "golden", "dark", "sunset", "harvest", "winter", "summer",
+    "mountain", "valley", "raspberry", "nectar", "trail", "barrel",
+]
+
+LANGUAGES = [
+    "english", "spanish", "french", "german", "polski", "turkish",
+    "afrikaans", "italian", "japanese", "korean",
+]
+
+COMPANY_SUFFIXES = ["inc", "llc", "corp", "associates", "capital", "partners"]
+
+CONDITIONS = [
+    "heart failure", "heart attack", "pneumonia", "surgical infection",
+    "stroke", "diabetes",
+]
+
+MEASURE_PREFIXES = ["hf", "ha", "pn", "si", "st", "db"]

@@ -1,0 +1,12 @@
+"""Evaluation utilities: difficulty profiling and report formatting."""
+
+from .profiling import DifficultyLevel, pair_jaccard, split_by_difficulty
+from .reporting import f1_row, format_table
+
+__all__ = [
+    "DifficultyLevel",
+    "f1_row",
+    "format_table",
+    "pair_jaccard",
+    "split_by_difficulty",
+]

@@ -1,0 +1,52 @@
+"""Paper-style table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 1,
+) -> str:
+    """Render an ASCII table; floats are shown with ``float_digits``."""
+
+    def render(cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered), 1)
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def f1_row(name: str, metrics_by_dataset: Dict[str, Dict[str, float]],
+           datasets: Sequence[str]) -> List[Cell]:
+    """One Table-V-style row: method name, per-dataset F1 (x100), average."""
+    values = []
+    for dataset in datasets:
+        metrics = metrics_by_dataset.get(dataset)
+        values.append(100.0 * metrics["f1"] if metrics else None)
+    present = [v for v in values if v is not None]
+    average = sum(present) / len(present) if present else None
+    return [name, *values, average]

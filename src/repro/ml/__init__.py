@@ -1,0 +1,20 @@
+"""Classical ML substrate: linear models, trees, ensembles, mixtures."""
+
+from .forest import RandomForest
+from .gbt import GradientBoostedTrees
+from .gmm import GaussianMixture
+from .linear import LinearSVM, LogisticRegression
+from .metrics import accuracy, precision_recall_f1
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianMixture",
+    "GradientBoostedTrees",
+    "LinearSVM",
+    "LogisticRegression",
+    "RandomForest",
+    "accuracy",
+    "precision_recall_f1",
+]

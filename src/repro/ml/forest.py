@@ -1,0 +1,60 @@
+"""Random forest classifier (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+class RandomForest:
+    """Bootstrap-aggregated decision trees (the RF baseline of Table XII)."""
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(self.seed)
+        n = features.shape[0]
+        max_features = self.max_features or max(
+            1, int(np.sqrt(features.shape[1]))
+        )
+        self._trees = []
+        for _ in range(self.num_trees):
+            sample = rng.integers(n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(2**32)),
+            )
+            tree.fit(features[sample], labels[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit the forest before predicting")
+        votes = np.mean(
+            [tree.predict_proba(features)[:, 1] for tree in self._trees], axis=0
+        )
+        return np.stack([1.0 - votes, votes], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features)[:, 1] >= 0.5).astype(np.int64)

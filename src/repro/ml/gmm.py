@@ -1,0 +1,99 @@
+"""Gaussian mixture model via EM — the engine behind the ZeroER baseline.
+
+ZeroER (Wu et al., SIGMOD 2020) models pairwise similarity feature vectors
+as a two-component mixture (match / non-match) and labels pairs by
+posterior probability, using the generative story instead of labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class GaussianMixture:
+    """Diagonal-covariance GMM with K components fit by EM."""
+
+    num_components: int = 2
+    max_iterations: int = 100
+    tolerance: float = 1e-6
+    seed: int = 0
+    regularization: float = 1e-6
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < self.num_components:
+            raise ValueError("need a (N, D) matrix with N >= num_components")
+        n, dim = data.shape
+        rng = np.random.default_rng(self.seed)
+
+        # Initialize means on quantile-spread data points, not randomly —
+        # for match/non-match mixtures this starts components at the low
+        # and high similarity ends.
+        order = np.argsort(data.sum(axis=1))
+        quantiles = np.linspace(0, n - 1, self.num_components).astype(int)
+        self.means = data[order[quantiles]].copy()
+        self.variances = np.tile(data.var(axis=0) + self.regularization,
+                                 (self.num_components, 1))
+        self.weights = np.full(self.num_components, 1.0 / self.num_components)
+
+        previous = -np.inf
+        for iteration in range(self.max_iterations):
+            responsibilities, log_likelihood = self._e_step(data)
+            self._m_step(data, responsibilities)
+            if abs(log_likelihood - previous) < self.tolerance:
+                break
+            previous = log_likelihood
+        self.log_likelihood = previous
+        del rng  # deterministic init; kept for API stability
+        return self
+
+    # ------------------------------------------------------------------
+    def _log_prob(self, data: np.ndarray) -> np.ndarray:
+        """(N, K) log densities under each component."""
+        n = data.shape[0]
+        log_probs = np.empty((n, self.num_components))
+        for k in range(self.num_components):
+            var = self.variances[k]
+            diff = data - self.means[k]
+            log_probs[:, k] = (
+                -0.5 * np.sum(np.log(2 * np.pi * var))
+                - 0.5 * np.sum(diff**2 / var, axis=1)
+            )
+        return log_probs
+
+    def _e_step(self, data: np.ndarray):
+        log_probs = self._log_prob(data) + np.log(self.weights)
+        max_log = log_probs.max(axis=1, keepdims=True)
+        log_norm = max_log + np.log(
+            np.exp(log_probs - max_log).sum(axis=1, keepdims=True)
+        )
+        responsibilities = np.exp(log_probs - log_norm)
+        return responsibilities, float(log_norm.sum())
+
+    def _m_step(self, data: np.ndarray, responsibilities: np.ndarray) -> None:
+        counts = responsibilities.sum(axis=0) + 1e-12
+        self.weights = counts / counts.sum()
+        self.means = (responsibilities.T @ data) / counts[:, np.newaxis]
+        for k in range(self.num_components):
+            diff = data - self.means[k]
+            self.variances[k] = (
+                responsibilities[:, k] @ (diff**2)
+            ) / counts[k] + self.regularization
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.float64)
+        responsibilities, _ = self._e_step(data)
+        return responsibilities
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        return self.predict_proba(data).argmax(axis=1)
+
+    def component_order_by_mean(self) -> np.ndarray:
+        """Component ids sorted by mean magnitude (ascending) — lets callers
+        identify the 'high similarity' (match) component."""
+        return np.argsort(self.means.sum(axis=1))

@@ -1,0 +1,103 @@
+"""Linear classifiers: logistic regression and linear SVM.
+
+Used by the column-matching baselines (Sherlock/Sato + LR/SVM classifiers,
+Table XII) and anywhere a simple probabilistic classifier is needed.
+Both train with full-batch gradient descent — feature sets at reproduction
+scale are small enough that this converges in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def _add_bias(features: np.ndarray) -> np.ndarray:
+    return np.hstack([features, np.ones((features.shape[0], 1))])
+
+
+def _standardize_fit(features: np.ndarray):
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    return mean, std
+
+
+@dataclass
+class LogisticRegression:
+    """Binary logistic regression with L2 regularization."""
+
+    learning_rate: float = 0.5
+    iterations: int = 300
+    l2: float = 1e-3
+    standardize: bool = True
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if self.standardize:
+            self._mean, self._std = _standardize_fit(features)
+            features = (features - self._mean) / self._std
+        x = _add_bias(features)
+        self.weights = np.zeros(x.shape[1])
+        n = x.shape[0]
+        for _ in range(self.iterations):
+            probs = 1.0 / (1.0 + np.exp(-(x @ self.weights)))
+            gradient = x.T @ (probs - labels) / n + self.l2 * self.weights
+            self.weights -= self.learning_rate * gradient
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if self.standardize:
+            features = (features - self._mean) / self._std
+        scores = _add_bias(features) @ self.weights
+        positive = 1.0 / (1.0 + np.exp(-scores))
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features)[:, 1] >= 0.5).astype(np.int64)
+
+
+@dataclass
+class LinearSVM:
+    """Linear SVM trained with sub-gradient descent on the hinge loss."""
+
+    learning_rate: float = 0.1
+    iterations: int = 400
+    c: float = 1.0
+    standardize: bool = True
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        signs = np.where(np.asarray(labels) == 1, 1.0, -1.0)
+        if self.standardize:
+            self._mean, self._std = _standardize_fit(features)
+            features = (features - self._mean) / self._std
+        x = _add_bias(features)
+        self.weights = np.zeros(x.shape[1])
+        n = x.shape[0]
+        for iteration in range(1, self.iterations + 1):
+            margins = signs * (x @ self.weights)
+            violating = margins < 1.0
+            gradient = self.weights / self.c - (
+                x[violating].T @ signs[violating]
+            ) / n
+            self.weights -= (self.learning_rate / np.sqrt(iteration)) * gradient
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if self.standardize:
+            features = (features - self._mean) / self._std
+        return _add_bias(features) @ self.weights
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Platt-style squash of the margin, for API parity with LR."""
+        positive = 1.0 / (1.0 + np.exp(-self.decision_function(features)))
+        return np.stack([1.0 - positive, positive], axis=1)

@@ -1,0 +1,29 @@
+"""Shared classification metrics for the classical-ML substrate."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray) -> Dict[str, float]:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    true_pos = int(((predictions == 1) & (labels == 1)).sum())
+    false_pos = int(((predictions == 1) & (labels == 0)).sum())
+    false_neg = int(((predictions == 0) & (labels == 1)).sum())
+    precision = true_pos / (true_pos + false_pos) if true_pos + false_pos else 0.0
+    recall = true_pos / (true_pos + false_neg) if true_pos + false_neg else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.size == 0:
+        return 0.0
+    return float((labels == predictions).mean())

@@ -1,0 +1,169 @@
+"""CART decision trees for classification and regression.
+
+The classification tree backs :class:`~repro.ml.forest.RandomForest`; the
+regression tree backs :class:`~repro.ml.gbt.GradientBoostedTrees` (which
+fits trees to residuals).  Split search is exact over sorted unique
+thresholds — fine for reproduction-scale feature matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0  # class-1 probability or regression output
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier (Gini impurity)."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(labels.mean()) if labels.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or labels.size < self.min_samples_split
+            or _gini(labels) == 0.0
+        ):
+            return node
+        split = _best_split(
+            features, labels, _gini, self.max_features, self.rng
+        )
+        if split is None:
+            return node
+        feature, threshold, mask = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        positive = np.array([_descend(self._root, row) for row in features])
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features)[:, 1] >= 0.5).astype(np.int64)
+
+
+class DecisionTreeRegressor:
+    """CART regressor (variance reduction), used as the GBT weak learner."""
+
+    def __init__(self, max_depth: int = 3, min_samples_split: int = 4) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self._root: Optional[_Node] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(targets.mean()) if targets.size else 0.0)
+        if depth >= self.max_depth or targets.size < self.min_samples_split:
+            return node
+        split = _best_split(
+            features, targets, _variance, None, np.random.default_rng(0)
+        )
+        if split is None:
+            return node
+        feature, threshold, mask = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([_descend(self._root, row) for row in features])
+
+
+def _variance(values: np.ndarray) -> float:
+    return float(values.var()) if values.size else 0.0
+
+
+def _best_split(features, targets, impurity, max_features, rng):
+    """Exhaustive best split by weighted impurity decrease.
+
+    Candidate thresholds are midpoints between consecutive sorted unique
+    values (capped at 32 per feature for speed).
+    """
+    n, num_features = features.shape
+    parent = impurity(targets)
+    best = None
+    best_gain = 1e-12
+    if max_features is not None and max_features < num_features:
+        feature_ids = rng.choice(num_features, size=max_features, replace=False)
+    else:
+        feature_ids = np.arange(num_features)
+    for feature in feature_ids:
+        column = features[:, feature]
+        unique = np.unique(column)
+        if unique.size < 2:
+            continue
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if midpoints.size > 32:
+            midpoints = midpoints[
+                np.linspace(0, midpoints.size - 1, 32).astype(int)
+            ]
+        for threshold in midpoints:
+            mask = column <= threshold
+            size_left = int(mask.sum())
+            if size_left == 0 or size_left == n:
+                continue
+            gain = parent - (
+                size_left * impurity(targets[mask])
+                + (n - size_left) * impurity(targets[~mask])
+            ) / n
+            if gain > best_gain:
+                best_gain = gain
+                best = (int(feature), float(threshold), mask)
+    return best
+
+
+def _descend(node: _Node, row: np.ndarray) -> float:
+    while not node.is_leaf:
+        node = node.left if row[node.feature] <= node.threshold else node.right
+    return node.value

@@ -1,0 +1,81 @@
+"""Neural-network substrate: autograd, layers, Transformer, optimizers."""
+
+from .attention import MultiHeadSelfAttention, make_padding_mask
+from .functional import (
+    accuracy,
+    binary_cross_entropy_with_logits,
+    cosine_similarity_matrix,
+    cosine_similarity_rows,
+    cross_entropy,
+    mse_loss,
+    weighted_cross_entropy,
+)
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Sequential
+from .module import Module, Parameter
+from .optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    LinearWarmupDecay,
+    LRSchedule,
+    Optimizer,
+)
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import (
+    Tensor,
+    autograd_dtype,
+    concat,
+    get_default_dtype,
+    no_grad,
+    numerical_gradient,
+    set_default_dtype,
+    stack,
+)
+from .transformer import (
+    LMHead,
+    TransformerConfig,
+    TransformerEncoder,
+    TransformerLayer,
+)
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "ConstantSchedule",
+    "Dropout",
+    "Embedding",
+    "LMHead",
+    "LRSchedule",
+    "LayerNorm",
+    "Linear",
+    "LinearWarmupDecay",
+    "MLP",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "TransformerConfig",
+    "TransformerEncoder",
+    "TransformerLayer",
+    "accuracy",
+    "autograd_dtype",
+    "binary_cross_entropy_with_logits",
+    "get_default_dtype",
+    "set_default_dtype",
+    "concat",
+    "cosine_similarity_matrix",
+    "cosine_similarity_rows",
+    "cross_entropy",
+    "load_checkpoint",
+    "make_padding_mask",
+    "mse_loss",
+    "no_grad",
+    "numerical_gradient",
+    "save_checkpoint",
+    "stack",
+    "weighted_cross_entropy",
+]

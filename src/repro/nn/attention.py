@@ -1,0 +1,72 @@
+"""Multi-head self-attention with additive padding masks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+NEG_INF = -1e9
+
+
+def make_padding_mask(attention_mask: np.ndarray) -> np.ndarray:
+    """Convert a (B, T) 1/0 attention mask into a (B, 1, 1, T) boolean mask
+    that is True at positions which must be *blocked*."""
+    mask = np.asarray(attention_mask)
+    return (mask == 0)[:, np.newaxis, np.newaxis, :]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input: (B, T, D) hidden states plus an optional (B, 1, 1, T) boolean
+    blocking mask. Output: (B, T, D).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / math.sqrt(self.head_dim)
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.output = Linear(dim, dim, rng)
+        self.attn_dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def forward(self, x: Tensor, blocking_mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, H, T, T)
+        if blocking_mask is not None:
+            scores = scores.masked_fill(blocking_mask, NEG_INF)
+        weights = scores.softmax(axis=-1)
+        if self.attn_dropout is not None:
+            weights = self.attn_dropout(weights)
+
+        context = weights @ v  # (B, H, T, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.output(merged)

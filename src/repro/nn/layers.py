@@ -1,0 +1,131 @@
+"""Core neural network layers: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        padding_idx: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        table = init.normal((num_embeddings, embedding_dim), rng)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.embedding(np.asarray(indices, dtype=np.int64))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.layer_norm(self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit, seedable generator."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.dropout(self.p, self.rng, self.training)
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x):
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class MLP(Module):
+    """A feed-forward block: Linear -> activation -> (dropout) -> Linear."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "gelu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(in_features, hidden_features, rng)
+        self.fc2 = Linear(hidden_features, out_features, rng)
+        self.activation = activation
+        self.drop = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        if self.activation == "gelu":
+            hidden = hidden.gelu()
+        elif self.activation == "relu":
+            hidden = hidden.relu()
+        elif self.activation == "tanh":
+            hidden = hidden.tanh()
+        else:
+            raise ValueError(f"unknown activation: {self.activation}")
+        if self.drop is not None:
+            hidden = self.drop(hidden)
+        return self.fc2(hidden)

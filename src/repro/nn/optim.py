@@ -1,0 +1,177 @@
+"""Optimizers (SGD, Adam, AdamW) and learning-rate schedules.
+
+The paper trains with AdamW; SGD and Adam are provided for the baselines and
+tests.  Weight decay in :class:`AdamW` is decoupled, following Loshchilov &
+Hutter, which matches the HuggingFace AdamW used by the original system.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip gradients in place to a global L2 norm; returns the norm."""
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = math.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the paper's optimizer)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 5e-5,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        if self.weight_decay > 0:
+            for param in self.params:
+                if param.grad is not None and param.data.ndim > 1:
+                    # Decay matrices only (skip biases / layernorm gains).
+                    param.data -= self.lr * self.weight_decay * param.data
+        super().step()
+
+
+class LRSchedule:
+    """Base learning-rate schedule driving an optimizer in place."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count += 1
+        lr = self.compute_lr(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(LRSchedule):
+    def __init__(self, optimizer: Optimizer, lr: Optional[float] = None) -> None:
+        super().__init__(optimizer)
+        self.lr = lr if lr is not None else optimizer.lr
+
+    def compute_lr(self, step: int) -> float:
+        return self.lr
+
+
+class LinearWarmupDecay(LRSchedule):
+    """Linear warmup to ``peak_lr`` then linear decay to zero — the schedule
+    HuggingFace uses for fine-tuning, reproduced for parity."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        peak_lr: float,
+        total_steps: int,
+        warmup_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.peak_lr = peak_lr
+        self.total_steps = total_steps
+        self.warmup_steps = max(1, int(total_steps * warmup_fraction))
+
+    def compute_lr(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.peak_lr * step / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        span = max(1, self.total_steps - self.warmup_steps)
+        return self.peak_lr * remaining / span

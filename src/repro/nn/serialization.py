@@ -1,0 +1,48 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(
+    module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Write a module's weights (and optional JSON metadata) to ``path``.
+
+    Weights are stored uncompressed for fast reload; metadata (e.g. the
+    tokenizer vocabulary hash or config dict) rides along as a JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload: Dict[str, np.ndarray] = {f"param::{k}": v for k, v in state.items()}
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(module: Module, path: PathLike) -> Dict[str, Any]:
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {
+            key[len("param::") :]: archive[key]
+            for key in archive.files
+            if key.startswith("param::")
+        }
+        metadata_raw = archive["__metadata__"].tobytes().decode("utf-8")
+    module.load_state_dict(state)
+    return json.loads(metadata_raw)

@@ -1,0 +1,54 @@
+"""Text substrate: tokenization, TF-IDF, clustering, similarity, MLM."""
+
+from .kmeans import KMeansResult, kmeans
+from .lm_pretrain import MLMConfig, MLMResult, mlm_warm_start
+from .lsh import LSHIndex
+from .similarity import (
+    cosine,
+    cosine_matrix,
+    jaccard,
+    levenshtein,
+    overlap_coefficient,
+    top_k_cosine,
+)
+from .tfidf import TfidfVectorizer
+from .tokenizer import (
+    CLS,
+    COL,
+    MASK,
+    PAD,
+    SEP,
+    SPECIAL_TOKENS,
+    UNK,
+    VAL,
+    Encoding,
+    Tokenizer,
+    word_tokenize,
+)
+
+__all__ = [
+    "CLS",
+    "COL",
+    "Encoding",
+    "KMeansResult",
+    "LSHIndex",
+    "MASK",
+    "MLMConfig",
+    "MLMResult",
+    "PAD",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "Tokenizer",
+    "TfidfVectorizer",
+    "UNK",
+    "VAL",
+    "cosine",
+    "cosine_matrix",
+    "jaccard",
+    "kmeans",
+    "levenshtein",
+    "mlm_warm_start",
+    "overlap_coefficient",
+    "top_k_cosine",
+    "word_tokenize",
+]

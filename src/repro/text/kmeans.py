@@ -1,0 +1,104 @@
+"""k-means clustering (k-means++ init) for negative-sample batching.
+
+The paper picks k-means because its running time is linear in corpus size,
+making it cheap to recluster the pre-training corpus (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    def clusters(self) -> List[np.ndarray]:
+        """Return item indices grouped per cluster (empty clusters omitted)."""
+        groups = []
+        for cluster_id in range(self.centers.shape[0]):
+            members = np.flatnonzero(self.labels == cluster_id)
+            if members.size:
+                groups.append(members)
+        return groups
+
+
+def kmeans(
+    features: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    max_iterations: int = 25,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    ``features`` is a dense (N, D) matrix (rows are typically L2-normalized
+    TF-IDF vectors, so Euclidean k-means approximates cosine clustering).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    n = features.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty feature matrix")
+    num_clusters = min(num_clusters, n)
+    centers = _kmeans_pp_init(features, num_clusters, rng)
+
+    labels = np.zeros(n, dtype=np.int64)
+    inertia = np.inf
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _squared_distances(features, centers)
+        labels = distances.argmin(axis=1)
+        new_inertia = float(distances[np.arange(n), labels].sum())
+        new_centers = centers.copy()
+        for cluster_id in range(num_clusters):
+            members = features[labels == cluster_id]
+            if len(members):
+                new_centers[cluster_id] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the point farthest from its center.
+                farthest = distances.min(axis=1).argmax()
+                new_centers[cluster_id] = features[farthest]
+        centers = new_centers
+        if inertia - new_inertia < tolerance:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(
+        labels=labels, centers=centers, inertia=inertia, iterations=iteration
+    )
+
+
+def _kmeans_pp_init(
+    features: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = features.shape[0]
+    centers = np.empty((num_clusters, features.shape[1]))
+    first = rng.integers(n)
+    centers[0] = features[first]
+    closest = ((features - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, num_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers.
+            centers[i:] = features[rng.integers(n, size=num_clusters - i)]
+            break
+        probabilities = closest / total
+        choice = rng.choice(n, p=probabilities)
+        centers[i] = features[choice]
+        distance_to_new = ((features - centers[i]) ** 2).sum(axis=1)
+        closest = np.minimum(closest, distance_to_new)
+    return centers
+
+
+def _squared_distances(features: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(N, K) squared Euclidean distances via the expansion trick."""
+    feature_norms = (features**2).sum(axis=1)[:, np.newaxis]
+    center_norms = (centers**2).sum(axis=1)[np.newaxis, :]
+    cross = features @ centers.T
+    return np.maximum(feature_norms + center_norms - 2.0 * cross, 0.0)

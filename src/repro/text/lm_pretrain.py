@@ -1,0 +1,116 @@
+"""Masked-language-model warm start.
+
+The paper initializes its encoder from RoBERTa.  Offline, the closest
+behavioural equivalent is a short masked-token-prediction pass over the
+task corpus: it gives the encoder distributional knowledge of the domain
+vocabulary before any contrastive or supervised step, exactly the role the
+pre-trained LM plays.  Baselines labelled "RoBERTa-base" in the paper's
+tables map to this warm-started encoder *without* contrastive pre-training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import AdamW, LMHead, TransformerConfig, TransformerEncoder, cross_entropy
+from ..utils import spawn_rng
+from .tokenizer import Tokenizer
+
+
+@dataclass
+class MLMConfig:
+    """Masked-LM warm-start hyper-parameters (BERT-style 15% masking)."""
+
+    epochs: int = 1
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    mask_probability: float = 0.15
+    max_seq_len: int = 64
+    seed: int = 0
+
+
+@dataclass
+class MLMResult:
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def mlm_warm_start(
+    encoder: TransformerEncoder,
+    tokenizer: Tokenizer,
+    corpus: Sequence[str],
+    config: Optional[MLMConfig] = None,
+) -> MLMResult:
+    """Train ``encoder`` in place with masked token prediction.
+
+    80% of selected positions become ``[MASK]``, 10% a random token, 10% are
+    kept, following BERT.  Returns the per-epoch mean loss trace.
+    """
+    config = config or MLMConfig()
+    rng = spawn_rng(config.seed, "mlm")
+    head = LMHead(encoder.config, spawn_rng(config.seed, "mlm-head"))
+    optimizer = AdamW(
+        encoder.parameters() + head.parameters(), lr=config.learning_rate
+    )
+    encoded = tokenizer.encode_batch(list(corpus), max_len=config.max_seq_len)
+    num_items = encoded.token_ids.shape[0]
+    losses: List[float] = []
+
+    for _ in range(config.epochs):
+        order = rng.permutation(num_items)
+        epoch_losses: List[float] = []
+        for start in range(0, num_items, config.batch_size):
+            batch_idx = order[start : start + config.batch_size]
+            token_ids = encoded.token_ids[batch_idx].copy()
+            attention = encoded.attention_mask[batch_idx]
+            masked_ids, target_ids, target_mask = _apply_masking(
+                token_ids, attention, tokenizer, config.mask_probability, rng
+            )
+            if not target_mask.any():
+                continue
+            hidden = encoder(masked_ids, attention_mask=attention)
+            logits = head(hidden)
+            rows, cols = np.nonzero(target_mask)
+            picked_logits = logits[rows, cols]
+            loss = cross_entropy(picked_logits, target_ids[rows, cols])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+    return MLMResult(losses=losses)
+
+
+def _apply_masking(
+    token_ids: np.ndarray,
+    attention_mask: np.ndarray,
+    tokenizer: Tokenizer,
+    probability: float,
+    rng: np.random.Generator,
+):
+    """BERT's 80/10/10 masking over non-special positions."""
+    special = np.isin(
+        token_ids,
+        [tokenizer.pad_id, tokenizer.cls_id, tokenizer.sep_id, tokenizer.col_id,
+         tokenizer.val_id],
+    )
+    candidates = (attention_mask == 1) & ~special
+    selected = candidates & (rng.random(token_ids.shape) < probability)
+    targets = token_ids.copy()
+
+    roll = rng.random(token_ids.shape)
+    masked = token_ids.copy()
+    replace_mask = selected & (roll < 0.8)
+    random_mask = selected & (roll >= 0.8) & (roll < 0.9)
+    masked[replace_mask] = tokenizer.mask_id
+    if random_mask.any():
+        masked[random_mask] = rng.integers(
+            len(tokenizer.vocab), size=int(random_mask.sum())
+        )
+    return masked, targets, selected

@@ -1,0 +1,118 @@
+"""Random-hyperplane LSH index for approximate nearest-neighbour search.
+
+The paper's blocking step indexes the learned vectors with a
+high-dimensional similarity search technique (its citation [27]); at
+reproduction scale exact search is feasible, but the LSH index is provided
+for parity and for the scalability discussion in Section II-C.  Signed
+random projections approximate angular (cosine) similarity: vectors whose
+signatures agree on many bits have high cosine with high probability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LSHIndex:
+    """Multi-table signed-random-projection index over unit vectors.
+
+    ``num_tables`` independent hash tables, each keyed by ``num_bits``
+    hyperplane signs.  A query probes its bucket in every table; the union
+    of bucket members is re-ranked exactly by cosine.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_tables: int = 8,
+        num_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if num_tables < 1 or num_bits < 1:
+            raise ValueError("num_tables and num_bits must be positive")
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        self._planes = rng.normal(size=(num_tables, num_bits, dim))
+        self._tables: List[Dict[int, List[int]]] = [
+            defaultdict(list) for _ in range(num_tables)
+        ]
+        self._vectors: Optional[np.ndarray] = None
+        self._powers = 1 << np.arange(num_bits)
+
+    # ------------------------------------------------------------------
+    def _signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """(T, N) integer bucket keys for a batch of vectors."""
+        # (T, B, D) @ (D, N) -> (T, B, N); sign bits packed into ints.
+        projections = np.einsum("tbd,nd->tbn", self._planes, vectors)
+        bits = projections > 0
+        return np.einsum("tbn,b->tn", bits.astype(np.int64), self._powers)
+
+    def build(self, vectors: np.ndarray) -> "LSHIndex":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (N, {self.dim}) vectors")
+        self._vectors = vectors
+        signatures = self._signatures(vectors)
+        for table_index in range(self.num_tables):
+            table = self._tables[table_index] = defaultdict(list)
+            for item, key in enumerate(signatures[table_index]):
+                table[int(key)].append(item)
+        return self
+
+    # ------------------------------------------------------------------
+    def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k (indices, cosine scores) for one query."""
+        if self._vectors is None:
+            raise RuntimeError("build the index before querying")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        signatures = self._signatures(vector)
+        candidates: set = set()
+        for table_index in range(self.num_tables):
+            key = int(signatures[table_index, 0])
+            candidates.update(self._tables[table_index].get(key, ()))
+        if not candidates:
+            # Degenerate bucket miss: fall back to exact search.
+            candidates = set(range(self._vectors.shape[0]))
+        candidate_list = np.fromiter(candidates, dtype=np.int64)
+        scores = self._vectors[candidate_list] @ vector[0]
+        k = min(k, candidate_list.size)
+        top = np.argsort(-scores)[:k]
+        return candidate_list[top], scores[top]
+
+    def query_batch(
+        self, vectors: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k for each row; ragged results are padded with
+        -1 indices / -inf scores."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        indices = np.full((vectors.shape[0], k), -1, dtype=np.int64)
+        scores = np.full((vectors.shape[0], k), -np.inf)
+        for row in range(vectors.shape[0]):
+            found, found_scores = self.query(vectors[row], k)
+            indices[row, : found.size] = found
+            scores[row, : found.size] = found_scores
+        return indices, scores
+
+    # ------------------------------------------------------------------
+    def recall_against_exact(
+        self, queries: np.ndarray, k: int
+    ) -> float:
+        """Fraction of exact top-k neighbours the index retrieves —
+        the standard ANN quality diagnostic."""
+        from .similarity import top_k_cosine
+
+        exact_indices, _ = top_k_cosine(queries, self._vectors, k=k)
+        approx_indices, _ = self.query_batch(queries, k)
+        hits = 0
+        total = 0
+        for row in range(queries.shape[0]):
+            exact_set = set(exact_indices[row].tolist())
+            approx_set = set(int(i) for i in approx_indices[row] if i >= 0)
+            hits += len(exact_set & approx_set)
+            total += len(exact_set)
+        return hits / total if total else 0.0

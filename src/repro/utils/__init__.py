@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG management, timers, simple logging."""
+
+from .rng import RngStream, spawn_rng
+from .timing import Timer, timed
+
+__all__ = ["RngStream", "Timer", "spawn_rng", "timed"]

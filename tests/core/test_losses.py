@@ -1,0 +1,151 @@
+"""Tests for NT-Xent, Barlow Twins, and the combined objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import barlow_twins_loss, combined_loss, nt_xent_loss
+from repro.nn import Tensor, autograd_dtype, numerical_gradient
+
+
+@pytest.fixture(autouse=True)
+def _float64():
+    with autograd_dtype(np.float64):
+        yield
+
+
+def random_views(n=6, d=8, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, d))
+    aug = base + noise * rng.normal(size=(n, d))
+    return Tensor(base, requires_grad=True), Tensor(aug, requires_grad=True)
+
+
+class TestNTXent:
+    def test_perfectly_aligned_views_give_low_loss(self):
+        z, _ = random_views(noise=0.0)
+        aligned = nt_xent_loss(z, Tensor(z.data.copy()), temperature=0.07).item()
+        z2, shuffled = random_views(seed=1)
+        mismatched = nt_xent_loss(
+            z2, Tensor(np.roll(z2.data, 1, axis=0)), temperature=0.07
+        ).item()
+        assert aligned < mismatched
+
+    def test_loss_positive(self):
+        z1, z2 = random_views(noise=0.5, seed=2)
+        assert nt_xent_loss(z1, z2).item() > 0
+
+    def test_temperature_effect(self):
+        """Lower temperature sharpens: aligned views get lower loss."""
+        z, _ = random_views(noise=0.0, seed=3)
+        same = Tensor(z.data.copy())
+        sharp = nt_xent_loss(z, same, temperature=0.05).item()
+        smooth = nt_xent_loss(z, same, temperature=1.0).item()
+        assert sharp < smooth
+
+    def test_gradients_flow_to_both_views(self):
+        z1, z2 = random_views(noise=0.3, seed=4)
+        nt_xent_loss(z1, z2).backward()
+        assert z1.grad is not None and np.abs(z1.grad).sum() > 0
+        assert z2.grad is not None and np.abs(z2.grad).sum() > 0
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(5)
+        fixed = Tensor(rng.normal(size=(4, 5)))
+        z = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+
+        def f(t):
+            return nt_xent_loss(t, fixed, temperature=0.2)
+
+        f(z).backward()
+        analytic = z.grad.copy()
+        z.grad = None
+        numeric = numerical_gradient(f, z)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_batch_size_validation(self):
+        z1 = Tensor(np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            nt_xent_loss(z1, z1)
+        with pytest.raises(ValueError):
+            nt_xent_loss(Tensor(np.ones((3, 4))), Tensor(np.ones((2, 4))))
+
+    def test_scale_invariance_from_normalization(self):
+        z1, z2 = random_views(noise=0.2, seed=6)
+        loss_a = nt_xent_loss(z1, z2).item()
+        loss_b = nt_xent_loss(
+            Tensor(z1.data * 7.0), Tensor(z2.data * 0.1)
+        ).item()
+        assert loss_a == pytest.approx(loss_b, abs=1e-8)
+
+
+class TestBarlowTwins:
+    def test_identical_decorrelated_views_near_zero(self):
+        """Orthogonal, identical features -> cross-correlation = identity."""
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(16, 8))
+        centered = raw - raw.mean(axis=0, keepdims=True)
+        # Left singular vectors of a column-centered matrix are orthonormal
+        # AND mean-zero, so their correlation matrix is exactly identity.
+        u, _, _ = np.linalg.svd(centered, full_matrices=False)
+        z = Tensor(u)
+        loss = barlow_twins_loss(z, Tensor(u.copy()), lambda_bt=1.0).item()
+        assert loss < 1e-10
+
+    def test_redundant_features_penalized(self):
+        rng = np.random.default_rng(1)
+        column = rng.normal(size=(10, 1))
+        redundant = Tensor(np.repeat(column, 4, axis=1))
+        unique = Tensor(rng.normal(size=(10, 4)))
+        loss_redundant = barlow_twins_loss(
+            redundant, Tensor(redundant.data.copy()), lambda_bt=0.1
+        ).item()
+        loss_unique = barlow_twins_loss(
+            unique, Tensor(unique.data.copy()), lambda_bt=0.1
+        ).item()
+        assert loss_redundant > loss_unique
+
+    def test_lambda_scales_offdiagonal_term(self):
+        z1, z2 = random_views(n=10, noise=0.4, seed=2)
+        small = barlow_twins_loss(z1, z2, lambda_bt=1e-4).item()
+        large = barlow_twins_loss(z1, z2, lambda_bt=1.0).item()
+        assert large > small
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        fixed = Tensor(rng.normal(size=(6, 4)))
+        z = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+
+        def f(t):
+            return barlow_twins_loss(t, fixed, lambda_bt=0.01)
+
+        f(z).backward()
+        analytic = z.grad.copy()
+        z.grad = None
+        numeric = numerical_gradient(f, z)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            barlow_twins_loss(Tensor(np.ones((4, 3))), Tensor(np.ones((4, 2))))
+        with pytest.raises(ValueError):
+            barlow_twins_loss(Tensor(np.ones((1, 3))), Tensor(np.ones((1, 3))))
+
+
+class TestCombinedLoss:
+    def test_alpha_zero_equals_ntxent(self):
+        z1, z2 = random_views(noise=0.3, seed=4)
+        combined = combined_loss(z1, z2, alpha_bt=0.0).item()
+        contrast = nt_xent_loss(z1, z2).item()
+        assert combined == pytest.approx(contrast)
+
+    def test_alpha_blends(self):
+        z1, z2 = random_views(n=10, noise=0.3, seed=5)
+        contrast = nt_xent_loss(z1, z2, temperature=0.07).item()
+        barlow = barlow_twins_loss(z1, z2).item()
+        blended = combined_loss(z1, z2, alpha_bt=0.25).item()
+        assert blended == pytest.approx(0.75 * contrast + 0.25 * barlow, rel=1e-6)
+
+    def test_backward_works(self):
+        z1, z2 = random_views(noise=0.3, seed=6)
+        combined_loss(z1, z2, alpha_bt=0.1).backward()
+        assert z1.grad is not None

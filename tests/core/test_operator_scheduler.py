@@ -1,0 +1,83 @@
+"""Tests for adaptive DA-operator scheduling (da_operator="auto")."""
+
+import numpy as np
+import pytest
+
+from repro.core.pretrain import OperatorScheduler, pretrain
+from repro.core import SudowoodoConfig
+from repro.data.generators import load_em_benchmark
+
+
+class TestOperatorScheduler:
+    def test_requires_operators(self):
+        with pytest.raises(ValueError):
+            OperatorScheduler([], np.random.default_rng(0))
+
+    def test_weights_form_distribution(self):
+        scheduler = OperatorScheduler(["a", "b", "c"], np.random.default_rng(0))
+        weights = scheduler.weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights.values())
+
+    def test_initial_weights_uniform(self):
+        scheduler = OperatorScheduler(["a", "b"], np.random.default_rng(0))
+        weights = scheduler.weights()
+        assert weights["a"] == pytest.approx(weights["b"])
+
+    def test_harder_operator_gains_weight(self):
+        scheduler = OperatorScheduler(["easy", "hard"], np.random.default_rng(0))
+        # "hard" consistently produces above-average loss.
+        for _ in range(20):
+            scheduler.update("easy", 1.0)
+            scheduler.update("hard", 2.0)
+        weights = scheduler.weights()
+        assert weights["hard"] > weights["easy"]
+
+    def test_sample_returns_known_operator(self):
+        scheduler = OperatorScheduler(["a", "b"], np.random.default_rng(1))
+        for _ in range(10):
+            assert scheduler.sample() in ("a", "b")
+
+
+class TestAutoOperatorPretrain:
+    def test_pretrain_with_auto_operator(self):
+        dataset = load_em_benchmark("AB", scale=0.02, max_table_size=30)
+        config = SudowoodoConfig(
+            dim=16,
+            num_layers=1,
+            num_heads=2,
+            ffn_dim=32,
+            max_seq_len=24,
+            pair_max_seq_len=40,
+            vocab_size=500,
+            pretrain_epochs=1,
+            pretrain_batch_size=8,
+            num_clusters=3,
+            corpus_cap=32,
+            mlm_warm_start_epochs=0,
+            da_operator="auto",
+            seed=0,
+        )
+        result = pretrain(dataset.all_items(), config)
+        assert result.operator_weights is not None
+        assert sum(result.operator_weights.values()) == pytest.approx(1.0)
+        assert len(result.epoch_losses) == 1
+
+    def test_fixed_operator_has_no_weights(self):
+        dataset = load_em_benchmark("AB", scale=0.02, max_table_size=30)
+        config = SudowoodoConfig(
+            dim=16,
+            num_layers=1,
+            num_heads=2,
+            ffn_dim=32,
+            max_seq_len=24,
+            vocab_size=500,
+            pretrain_epochs=1,
+            pretrain_batch_size=8,
+            num_clusters=3,
+            corpus_cap=32,
+            mlm_warm_start_epochs=0,
+            seed=0,
+        )
+        result = pretrain(dataset.all_items(), config)
+        assert result.operator_weights is None

@@ -1,0 +1,73 @@
+"""Tests for encoder checkpointing (weights + tokenizer + config)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SudowoodoConfig,
+    load_encoder,
+    pretrain,
+    save_encoder,
+)
+from repro.data.generators import load_em_benchmark
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = load_em_benchmark("AB", scale=0.02, max_table_size=30)
+    config = SudowoodoConfig(
+        dim=16,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=32,
+        max_seq_len=24,
+        pair_max_seq_len=40,
+        vocab_size=500,
+        pretrain_epochs=1,
+        pretrain_batch_size=8,
+        num_clusters=3,
+        corpus_cap=32,
+        mlm_warm_start_epochs=0,
+        seed=0,
+    )
+    result = pretrain(dataset.all_items(), config)
+    return dataset, result.encoder
+
+
+class TestPersistence:
+    def test_roundtrip_embeddings_identical(self, trained, tmp_path):
+        dataset, encoder = trained
+        path = save_encoder(encoder, tmp_path / "encoder.npz")
+        restored = load_encoder(path)
+        items = dataset.all_items()[:8]
+        np.testing.assert_allclose(
+            encoder.embed_items(items), restored.embed_items(items), atol=1e-6
+        )
+
+    def test_roundtrip_preserves_config(self, trained, tmp_path):
+        _, encoder = trained
+        path = save_encoder(encoder, tmp_path / "encoder.npz")
+        restored = load_encoder(path)
+        assert restored.config == encoder.config
+
+    def test_roundtrip_preserves_vocab(self, trained, tmp_path):
+        _, encoder = trained
+        path = save_encoder(encoder, tmp_path / "encoder.npz")
+        restored = load_encoder(path)
+        assert restored.tokenizer.vocab == encoder.tokenizer.vocab
+
+    def test_suffixless_path(self, trained, tmp_path):
+        _, encoder = trained
+        save_encoder(encoder, tmp_path / "ckpt")
+        restored = load_encoder(tmp_path / "ckpt")
+        assert restored.config.dim == encoder.config.dim
+
+    def test_bad_format_rejected(self, trained, tmp_path):
+        _, encoder = trained
+        from repro.nn import save_checkpoint
+
+        path = save_checkpoint(
+            encoder, tmp_path / "bad.npz", metadata={"format_version": 99}
+        )
+        with pytest.raises(ValueError):
+            load_encoder(tmp_path / "bad.npz")

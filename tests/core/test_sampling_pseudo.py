@@ -1,0 +1,228 @@
+"""Tests for clustering-based negative sampling and pseudo-labeling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClusterBatcher,
+    estimate_positive_ratio,
+    generate_pseudo_labels,
+    hill_climb_threshold,
+    similarity_of_pairs,
+)
+
+
+def two_topic_corpus(n_per_topic=20):
+    products = [
+        f"[COL] title [VAL] wireless keyboard model kb{i} deluxe"
+        for i in range(n_per_topic)
+    ]
+    papers = [
+        f"[COL] title [VAL] neural databases learning paper p{i} optimization"
+        for i in range(n_per_topic)
+    ]
+    return products + papers
+
+
+class TestClusterBatcher:
+    def test_batches_partition_corpus(self):
+        corpus = two_topic_corpus()
+        batcher = ClusterBatcher(corpus, 2, np.random.default_rng(0))
+        batches = batcher.batches(8, np.random.default_rng(1))
+        seen = sorted(int(i) for batch in batches for i in batch)
+        # Every item appears at most once; nearly all are covered (a
+        # trailing batch of size 1 is dropped).
+        assert len(seen) == len(set(seen))
+        assert len(seen) >= len(corpus) - 1
+
+    def test_clusters_separate_topics(self):
+        corpus = two_topic_corpus()
+        batcher = ClusterBatcher(corpus, 2, np.random.default_rng(0))
+        batches = batcher.batches(10, np.random.default_rng(2))
+        # With 2 well-separated topics and batch size 10, most batches
+        # should be topic-pure.
+        pure = 0
+        for batch in batches:
+            topics = {0 if int(i) < 20 else 1 for i in batch}
+            pure += len(topics) == 1
+        assert pure >= len(batches) - 1
+
+    def test_uniform_batches_cover_all(self):
+        corpus = two_topic_corpus()
+        batcher = ClusterBatcher(corpus, 2, np.random.default_rng(0))
+        batches = batcher.uniform_batches(8, np.random.default_rng(3))
+        seen = sorted(int(i) for batch in batches for i in batch)
+        assert seen == list(range(len(corpus)))
+
+    def test_single_cluster_equals_uniform_semantics(self):
+        corpus = two_topic_corpus(10)
+        batcher = ClusterBatcher(corpus, 1, np.random.default_rng(0))
+        batches = batcher.batches(8, np.random.default_rng(4))
+        assert sum(len(b) for b in batches) >= len(corpus) - 1
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterBatcher([], 2, np.random.default_rng(0))
+
+    def test_no_single_item_batches(self):
+        corpus = two_topic_corpus(8)  # 16 items
+        batcher = ClusterBatcher(corpus, 3, np.random.default_rng(0))
+        for batch in batcher.batches(5, np.random.default_rng(5)):
+            assert len(batch) >= 2
+
+    def test_false_negative_rate_increases_with_clusters(self):
+        """More clusters concentrate similar items -> more matches co-batched
+        (Figure 8, row 3)."""
+        rng = np.random.default_rng(0)
+        # Corpus of near-duplicate pairs: 2i and 2i+1 match.
+        corpus = []
+        matches = []
+        for i in range(30):
+            base = f"product alpha{i} beta{i} gamma{i} delta"
+            corpus.append(f"[COL] t [VAL] {base} extra")
+            corpus.append(f"[COL] t [VAL] {base} variant")
+            matches.append((2 * i, 2 * i + 1))
+        few = ClusterBatcher(corpus, 2, np.random.default_rng(1))
+        many = ClusterBatcher(corpus, 12, np.random.default_rng(1))
+        fnr_few = few.false_negative_rate(matches, 8, np.random.default_rng(2))
+        fnr_many = many.false_negative_rate(matches, 8, np.random.default_rng(2))
+        assert fnr_many >= fnr_few
+
+    def test_false_negative_rate_empty_matches(self):
+        corpus = two_topic_corpus(5)
+        batcher = ClusterBatcher(corpus, 2, np.random.default_rng(0))
+        assert batcher.false_negative_rate([], 4, np.random.default_rng(0)) == 0.0
+
+
+class TestPseudoLabels:
+    def unit_vectors(self, angles):
+        return np.stack([np.cos(angles), np.sin(angles)], axis=1)
+
+    def test_positive_ratio_respected(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(50, 8))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        pairs = [(i, (i + 1) % 50) for i in range(50)]
+        labels = generate_pseudo_labels(
+            vectors, vectors, pairs, num_labels=20, positive_ratio=0.25
+        )
+        assert len(labels.positives) == 5
+        assert len(labels.negatives) == 15
+
+    def test_most_similar_become_positive(self):
+        # a0 aligned with b0; a1 orthogonal to b1.
+        vectors_a = self.unit_vectors(np.array([0.0, 0.0]))
+        vectors_b = self.unit_vectors(np.array([0.05, np.pi / 2]))
+        pairs = [(0, 0), (1, 1)]
+        labels = generate_pseudo_labels(
+            vectors_a, vectors_b, pairs, num_labels=2, positive_ratio=0.5
+        )
+        assert labels.positives == [(0, 0)]
+        assert labels.negatives == [(1, 1)]
+
+    def test_thresholds_ordered(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(40, 4))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        pairs = [(i, j) for i in range(20) for j in (0, 5, 10)]
+        labels = generate_pseudo_labels(
+            vectors, vectors, pairs, num_labels=30, positive_ratio=0.1
+        )
+        assert labels.theta_pos >= labels.theta_neg
+
+    def test_exclusion(self):
+        vectors = np.eye(4)
+        pairs = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        labels = generate_pseudo_labels(
+            vectors,
+            vectors,
+            pairs,
+            num_labels=4,
+            positive_ratio=0.5,
+            exclude={(0, 0), (1, 1)},
+        )
+        used = set(labels.positives) | set(labels.negatives)
+        assert (0, 0) not in used and (1, 1) not in used
+
+    def test_quality_against_ground_truth(self):
+        vectors_a = self.unit_vectors(np.array([0.0, 1.0]))
+        vectors_b = self.unit_vectors(np.array([0.02, 1.0 + np.pi / 2]))
+        pairs = [(0, 0), (1, 1)]
+        labels = generate_pseudo_labels(
+            vectors_a, vectors_b, pairs, num_labels=2, positive_ratio=0.5
+        )
+        quality = labels.quality({(0, 0)})
+        assert quality["tpr"] == 1.0 and quality["tnr"] == 1.0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            generate_pseudo_labels(np.eye(2), np.eye(2), [(0, 0)], 1, 1.5)
+
+    def test_empty_candidates(self):
+        labels = generate_pseudo_labels(np.eye(2), np.eye(2), [], 5, 0.1)
+        assert len(labels) == 0
+
+    def test_similarity_of_pairs(self):
+        vectors = np.eye(3)
+        sims = similarity_of_pairs(vectors, vectors, [(0, 0), (0, 1)])
+        np.testing.assert_allclose(sims, [1.0, 0.0])
+
+
+class TestPositiveRatioEstimate:
+    def test_snaps_to_menu(self):
+        assert estimate_positive_ratio([1, 0, 0, 0, 0, 0, 0, 0, 0, 0]) == 0.10
+        assert estimate_positive_ratio([1, 1, 0, 0, 0, 0, 0, 0]) == 0.25
+
+    def test_empty_defaults(self):
+        assert estimate_positive_ratio([]) == 0.10
+
+
+class TestHillClimb:
+    def test_finds_peak_of_concave_function(self):
+        best, score = hill_climb_threshold(
+            lambda t: -((t - 0.6) ** 2), initial=0.3, step=0.1, trials=20
+        )
+        assert best == pytest.approx(0.6, abs=0.05)
+
+    def test_respects_trial_budget(self):
+        calls = []
+
+        def score(t):
+            calls.append(t)
+            return -abs(t)
+
+        hill_climb_threshold(score, initial=0.5, step=0.1, trials=5)
+        assert len(calls) <= 5
+
+    def test_clips_to_bounds(self):
+        best, _ = hill_climb_threshold(
+            lambda t: t, initial=0.95, step=0.2, trials=8, bounds=(-1, 1)
+        )
+        assert best <= 1.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            hill_climb_threshold(lambda t: t, 0.0, trials=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_labels=st.integers(min_value=2, max_value=30),
+    ratio=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_pseudo_label_counts(num_labels, ratio, seed):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(40, 6))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    pairs = [(int(i), int(j)) for i, j in rng.integers(0, 40, size=(60, 2))]
+    pairs = list(dict.fromkeys(pairs))
+    labels = generate_pseudo_labels(
+        vectors, vectors, pairs, num_labels=num_labels, positive_ratio=ratio
+    )
+    assert len(labels) <= max(num_labels, 2)
+    assert len(labels.positives) >= 1
+    # No pair is labeled both positive and negative.
+    assert not (set(labels.positives) & set(labels.negatives))

@@ -1,0 +1,258 @@
+"""Tests for the synthetic EM / cleaning / column dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import (
+    ALL_DATASET_KEYS,
+    CLEANING_DATASET_KEYS,
+    EM_DATASET_KEYS,
+    benchmark_entry,
+    corrupt_text,
+    generate_column_corpus,
+    load_cleaning_dataset,
+    load_em_benchmark,
+)
+from repro.text import jaccard
+
+
+class TestCorruptText:
+    def test_zero_hardness_identity(self):
+        assert corrupt_text("alpha beta gamma", np.random.default_rng(0), 0.0) == (
+            "alpha beta gamma"
+        )
+
+    def test_never_empty(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert corrupt_text("single", rng, 1.0)
+
+    def test_high_hardness_changes_text(self):
+        rng = np.random.default_rng(0)
+        changed = sum(
+            corrupt_text("wireless deluxe keyboard premium", rng, 0.9)
+            != "wireless deluxe keyboard premium"
+            for _ in range(20)
+        )
+        assert changed >= 15
+
+    def test_deterministic_given_rng(self):
+        a = corrupt_text("wireless deluxe keyboard", np.random.default_rng(5), 0.8)
+        b = corrupt_text("wireless deluxe keyboard", np.random.default_rng(5), 0.8)
+        assert a == b
+
+
+class TestEMBenchmarks:
+    @pytest.mark.parametrize("key", EM_DATASET_KEYS)
+    def test_positive_rate_close_to_paper(self, key):
+        dataset = load_em_benchmark(key, scale=0.05, max_table_size=300)
+        expected = benchmark_entry(key).positive_rate
+        assert dataset.pairs.positive_rate() == pytest.approx(expected, abs=0.03)
+
+    def test_matches_are_labeled_positive(self):
+        dataset = load_em_benchmark("AB", scale=0.05)
+        for pair in dataset.pairs.all_pairs():
+            if pair.label == 1:
+                assert (pair.left, pair.right) in dataset.matches
+
+    def test_negatives_not_in_matches(self):
+        dataset = load_em_benchmark("DA", scale=0.05)
+        for pair in dataset.pairs.all_pairs():
+            if pair.label == 0:
+                assert (pair.left, pair.right) not in dataset.matches
+
+    def test_pair_indices_in_range(self):
+        dataset = load_em_benchmark("WA", scale=0.04, max_table_size=200)
+        for pair in dataset.pairs.all_pairs():
+            assert 0 <= pair.left < len(dataset.table_a)
+            assert 0 <= pair.right < len(dataset.table_b)
+
+    def test_split_ratio_3_1_1(self):
+        dataset = load_em_benchmark("AG", scale=0.05)
+        n = len(dataset.pairs.all_pairs())
+        assert len(dataset.pairs.train) == pytest.approx(0.6 * n, abs=2)
+        assert len(dataset.pairs.valid) == pytest.approx(0.2 * n, abs=2)
+
+    def test_deterministic(self):
+        a = load_em_benchmark("AB", scale=0.03)
+        b = load_em_benchmark("AB", scale=0.03)
+        assert a.serialize_a(0) == b.serialize_a(0)
+        assert a.matches == b.matches
+
+    def test_difficulty_ordering(self):
+        """Positive-class Jaccard: easy (DA) > hard (WA), the property the
+        difficulty analysis in Table XVI depends on."""
+
+        def positive_jaccard(key):
+            ds = load_em_benchmark(key, scale=0.04, max_table_size=200)
+            values = [
+                jaccard(
+                    ds.table_a[p.left].text(), ds.table_b[p.right].text()
+                )
+                for p in ds.pairs.all_pairs()
+                if p.label == 1
+            ]
+            return float(np.mean(values))
+
+        assert positive_jaccard("DA") > positive_jaccard("WA") + 0.1
+
+    def test_hard_negatives_exist(self):
+        """Sibling negatives must overlap far more than random negatives."""
+        ds = load_em_benchmark("WA", scale=0.04, max_table_size=200)
+        neg = sorted(
+            jaccard(ds.table_a[p.left].text(), ds.table_b[p.right].text())
+            for p in ds.pairs.all_pairs()
+            if p.label == 0
+        )
+        median = neg[len(neg) // 2]
+        assert neg[-1] > 0.25
+        assert neg[-1] > 3 * max(median, 0.01)
+
+    def test_all_items_corpus_size(self):
+        ds = load_em_benchmark("AB", scale=0.03)
+        assert len(ds.all_items()) == len(ds.table_a) + len(ds.table_b)
+
+    def test_sample_labeled_budget(self):
+        ds = load_em_benchmark("AB", scale=0.05)
+        rng = np.random.default_rng(0)
+        sample = ds.sample_labeled(50, rng)
+        assert len(sample) == 50
+
+    def test_sample_labeled_exceeding_pool_returns_all(self):
+        ds = load_em_benchmark("AB", scale=0.03)
+        rng = np.random.default_rng(0)
+        pool_size = len(ds.pairs.train) + len(ds.pairs.valid)
+        assert len(ds.sample_labeled(10**6, rng)) == pool_size
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            load_em_benchmark("nope")
+
+    @pytest.mark.parametrize("key", ALL_DATASET_KEYS)
+    def test_all_eight_datasets_generate(self, key):
+        dataset = load_em_benchmark(key, scale=0.02, max_table_size=100)
+        assert len(dataset.table_a) >= 12
+        assert len(dataset.pairs.all_pairs()) >= 10
+        assert dataset.matches
+
+
+class TestCleaningDatasets:
+    @pytest.mark.parametrize("name", CLEANING_DATASET_KEYS)
+    def test_error_rate_matches_table3(self, name):
+        dataset = load_cleaning_dataset(name, scale=0.2)
+        expected = {"beers": 0.16, "hospital": 0.03, "rayyan": 0.09, "tax": 0.04}
+        assert dataset.error_rate() == pytest.approx(expected[name], abs=0.01)
+
+    @pytest.mark.parametrize("name", CLEANING_DATASET_KEYS)
+    def test_error_types_match_table3(self, name):
+        dataset = load_cleaning_dataset(name, scale=0.2)
+        expected = {
+            "beers": {"MV", "FI", "VAD"},
+            "hospital": {"T", "VAD"},
+            "rayyan": {"MV", "T", "FI", "VAD"},
+            "tax": {"T", "FI", "VAD"},
+        }
+        assert set(dataset.error_type_names()) <= expected[name]
+
+    def test_dirty_cells_differ_from_clean(self):
+        dataset = load_cleaning_dataset("beers", scale=0.1)
+        for row, attr in dataset.error_cells():
+            assert dataset.dirty[row].get(attr) != dataset.clean[row].get(attr)
+
+    def test_non_error_cells_identical(self):
+        dataset = load_cleaning_dataset("hospital", scale=0.1)
+        for row in range(len(dataset.dirty)):
+            for attr in dataset.schema:
+                if not dataset.is_error(row, attr):
+                    assert dataset.dirty[row].get(attr) == dataset.clean[row].get(attr)
+
+    def test_column_counts(self):
+        expected = {"beers": 11, "hospital": 20, "rayyan": 11, "tax": 15}
+        for name, cols in expected.items():
+            dataset = load_cleaning_dataset(name, scale=0.05)
+            assert len(dataset.schema) == cols
+
+    def test_functional_dependencies_hold_in_clean_table(self):
+        dataset = load_cleaning_dataset("tax", scale=0.1)
+        mapping = {}
+        for record in dataset.clean:
+            key = record.get("zip")
+            value = (record.get("city"), record.get("state"))
+            assert mapping.setdefault(key, value) == value
+
+    def test_vad_errors_use_domain_values(self):
+        dataset = load_cleaning_dataset("beers", scale=0.1)
+        for (row, attr), etype in dataset.error_types.items():
+            if etype == "VAD":
+                column_domain = set(dataset.clean.column_values(attr))
+                assert dataset.dirty[row].get(attr) in column_domain
+
+    def test_deterministic(self):
+        a = load_cleaning_dataset("rayyan", scale=0.1)
+        b = load_cleaning_dataset("rayyan", scale=0.1)
+        assert a.error_types == b.error_types
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_cleaning_dataset("nope")
+
+
+class TestColumnCorpus:
+    def test_size_and_determinism(self):
+        a = generate_column_corpus(60, seed=3)
+        b = generate_column_corpus(60, seed=3)
+        assert len(a) == 60
+        assert a[0].values == b[0].values
+
+    def test_same_type_relation(self):
+        corpus = generate_column_corpus(100, seed=0)
+        i, j = 0, 1
+        found_same = found_diff = False
+        for i in range(len(corpus)):
+            for j in range(i + 1, len(corpus)):
+                if corpus.same_type(i, j):
+                    found_same = True
+                else:
+                    found_diff = True
+                if found_same and found_diff:
+                    return
+        assert found_same and found_diff
+
+    def test_subtypes_within_type(self):
+        corpus = generate_column_corpus(400, seed=1)
+        city_subtypes = {
+            c.subtype for c in corpus.columns if c.semantic_type == "city"
+        }
+        assert len(city_subtypes) == 2  # us_city and eu_city both present
+
+    def test_serialization_format(self):
+        corpus = generate_column_corpus(5, seed=0)
+        text = corpus[0].serialize(max_values=3)
+        assert text.startswith("[VAL] ")
+        assert text.count("[VAL]") == 3
+
+    def test_values_nonempty(self):
+        corpus = generate_column_corpus(50, seed=2)
+        for column in corpus.columns:
+            assert len(column.values) >= 5
+            assert all(v for v in column.values)
+
+    def test_type_distribution_skewed(self):
+        corpus = generate_column_corpus(500, seed=4)
+        counts = sorted(corpus.type_counts().values(), reverse=True)
+        assert counts[0] > counts[-1] * 2  # Zipf-ish head
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_em_generation_invariants(seed):
+    dataset = load_em_benchmark("AB", scale=0.02, seed=seed)
+    pairs = dataset.pairs.all_pairs()
+    keys = [(p.left, p.right) for p in pairs]
+    assert len(keys) == len(set(keys))  # no duplicate labeled pairs
+    # All matches are within table bounds.
+    for left, right in dataset.matches:
+        assert 0 <= left < len(dataset.table_a)
+        assert 0 <= right < len(dataset.table_b)

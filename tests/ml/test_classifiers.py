@@ -1,0 +1,192 @@
+"""Tests for the classical-ML substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GaussianMixture,
+    GradientBoostedTrees,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    accuracy,
+    precision_recall_f1,
+)
+
+
+def linearly_separable(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=(2.0, 2.0), scale=0.5, size=(n // 2, 2))
+    neg = rng.normal(loc=(-2.0, -2.0), scale=0.5, size=(n // 2, 2))
+    features = np.vstack([pos, neg])
+    labels = np.array([1] * (n // 2) + [0] * (n // 2))
+    return features, labels
+
+
+def xor_data(n=120, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    labels = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, labels
+
+
+CLASSIFIERS = [
+    ("lr", lambda: LogisticRegression()),
+    ("svm", lambda: LinearSVM()),
+    ("tree", lambda: DecisionTreeClassifier(max_depth=5)),
+    ("forest", lambda: RandomForest(num_trees=10, max_depth=5)),
+    ("gbt", lambda: GradientBoostedTrees()),
+]
+
+
+@pytest.mark.parametrize("name,factory", CLASSIFIERS)
+def test_classifiers_solve_separable(name, factory):
+    features, labels = linearly_separable()
+    model = factory().fit(features, labels)
+    assert accuracy(labels, model.predict(features)) >= 0.95
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [c for c in CLASSIFIERS if c[0] in ("tree", "forest", "gbt")],
+)
+def test_nonlinear_models_solve_xor(name, factory):
+    features, labels = xor_data()
+    model = factory().fit(features, labels)
+    assert accuracy(labels, model.predict(features)) >= 0.9
+
+
+def test_linear_models_fail_xor():
+    """Sanity check that XOR really is non-linear for our linear models."""
+    features, labels = xor_data()
+    lr = LogisticRegression().fit(features, labels)
+    assert accuracy(labels, lr.predict(features)) < 0.75
+
+
+@pytest.mark.parametrize("name,factory", CLASSIFIERS)
+def test_predict_proba_valid(name, factory):
+    features, labels = linearly_separable(seed=3)
+    model = factory().fit(features, labels)
+    probs = model.predict_proba(features)
+    assert probs.shape == (len(labels), 2)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+    assert (probs >= 0).all()
+
+
+class TestDecisionTree:
+    def test_depth_limits_honored(self):
+        features, labels = xor_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        deep = DecisionTreeClassifier(max_depth=6).fit(features, labels)
+        assert accuracy(labels, deep.predict(features)) > accuracy(
+            labels, stump.predict(features)
+        )
+
+    def test_pure_leaf_stops(self):
+        features = np.array([[0.0], [1.0], [2.0]])
+        labels = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree._root.is_leaf
+        assert tree._root.value == 1.0
+
+    def test_regressor_fits_step(self):
+        features = np.linspace(0, 1, 50).reshape(-1, 1)
+        targets = (features[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(features, targets)
+        predictions = tree.predict(features)
+        assert np.abs(predictions - targets).mean() < 0.5
+
+
+class TestRandomForest:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.ones((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        features, labels = xor_data()
+        a = RandomForest(num_trees=5, seed=7).fit(features, labels)
+        b = RandomForest(num_trees=5, seed=7).fit(features, labels)
+        np.testing.assert_array_equal(a.predict(features), b.predict(features))
+
+
+class TestGBT:
+    def test_more_rounds_improve_fit(self):
+        features, labels = xor_data(seed=5)
+        weak = GradientBoostedTrees(num_rounds=2).fit(features, labels)
+        strong = GradientBoostedTrees(num_rounds=40).fit(features, labels)
+        assert accuracy(labels, strong.predict(features)) >= accuracy(
+            labels, weak.predict(features)
+        )
+
+    def test_base_score_reflects_prior(self):
+        features = np.ones((10, 1))
+        labels = np.array([1] * 9 + [0])
+        gbt = GradientBoostedTrees(num_rounds=0).fit(features, labels)
+        assert gbt._base_score > 0  # positive prior -> positive logit
+
+
+class TestGMM:
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(0.1, 0.05, size=(100, 1))
+        high = rng.normal(0.9, 0.05, size=(30, 1))
+        data = np.vstack([low, high])
+        gmm = GaussianMixture(num_components=2).fit(data)
+        labels = gmm.predict(data)
+        # All lows in one component, all highs in the other.
+        assert len(set(labels[:100])) == 1
+        assert len(set(labels[100:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_component_order_by_mean(self):
+        rng = np.random.default_rng(1)
+        data = np.vstack(
+            [rng.normal(0, 0.1, size=(50, 1)), rng.normal(5, 0.1, size=(50, 1))]
+        )
+        gmm = GaussianMixture(num_components=2).fit(data)
+        order = gmm.component_order_by_mean()
+        assert gmm.means[order[0]].sum() < gmm.means[order[1]].sum()
+
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        gmm = GaussianMixture(num_components=3).fit(rng.normal(size=(60, 2)))
+        assert gmm.weights.sum() == pytest.approx(1.0)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(num_components=2).fit(np.ones((1, 2)))
+
+    def test_posterior_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 2))
+        gmm = GaussianMixture(num_components=2).fit(data)
+        probs = gmm.predict_proba(data)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestMetrics:
+    def test_prf(self):
+        m = precision_recall_f1(np.array([1, 1, 0, 0]), np.array([1, 0, 1, 0]))
+        assert m["precision"] == 0.5 and m["recall"] == 0.5
+
+    def test_prf_validates_shapes(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(np.array([1]), np.array([1, 0]))
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_property_lr_probability_monotone_along_weights(seed):
+    features, labels = linearly_separable(seed=seed)
+    model = LogisticRegression(iterations=150).fit(features, labels)
+    probs = model.predict_proba(features)[:, 1]
+    # Points deep in the positive blob get higher probability than deep
+    # negative ones.
+    assert probs[:30].mean() > probs[30:].mean()

@@ -1,0 +1,189 @@
+"""Tests for optimizers, schedules, losses, and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    Linear,
+    LinearWarmupDecay,
+    Parameter,
+    Tensor,
+    accuracy,
+    binary_cross_entropy_with_logits,
+    cosine_similarity_matrix,
+    cosine_similarity_rows,
+    cross_entropy,
+    load_checkpoint,
+    mse_loss,
+    save_checkpoint,
+    weighted_cross_entropy,
+)
+
+
+def quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+def minimize(optimizer_factory, steps=200):
+    param = quadratic_param()
+    opt = optimizer_factory([param])
+    for _ in range(steps):
+        loss = (param * param).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return param.data
+
+
+class TestOptimizers:
+    def test_sgd_minimizes_quadratic(self):
+        final = minimize(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, 0.0, atol=1e-6)
+
+    def test_sgd_momentum_minimizes(self):
+        final = minimize(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, 0.0, atol=1e-4)
+
+    def test_adam_minimizes(self):
+        final = minimize(lambda p: Adam(p, lr=0.1))
+        np.testing.assert_allclose(final, 0.0, atol=1e-3)
+
+    def test_adamw_minimizes(self):
+        final = minimize(lambda p: AdamW(p, lr=0.1, weight_decay=0.0))
+        np.testing.assert_allclose(final, 0.0, atol=1e-3)
+
+    def test_adamw_weight_decay_shrinks_matrices(self):
+        param = Parameter(np.ones((2, 2)) * 10.0)
+        opt = AdamW([param], lr=0.1, weight_decay=0.5)
+        # No gradient signal: pure decay should shrink weights.
+        param.grad = np.zeros_like(param.data)
+        for _ in range(10):
+            opt.step()
+        assert np.abs(param.data).max() < 10.0
+
+    def test_adamw_skips_decay_on_vectors(self):
+        bias = Parameter(np.ones(3) * 4.0)
+        opt = AdamW([bias], lr=0.1, weight_decay=0.5)
+        bias.grad = np.zeros_like(bias.data)
+        opt.step()
+        np.testing.assert_allclose(bias.data, 4.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.array([3.0, 4.0]))
+        param.grad = np.array([30.0, 40.0])
+        opt = SGD([param], lr=0.1)
+        norm = opt.clip_grad_norm(5.0)
+        assert norm == pytest.approx(50.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(5.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=0.5)
+        sched = ConstantSchedule(opt)
+        for _ in range(3):
+            assert sched.step() == 0.5
+
+    def test_linear_warmup_then_decay(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=0.0)
+        sched = LinearWarmupDecay(opt, peak_lr=1.0, total_steps=10, warmup_fraction=0.2)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < lrs[1]  # warming up
+        assert lrs[1] == pytest.approx(1.0)  # peak at warmup end
+        assert lrs[-1] < lrs[2]  # decaying
+        assert lrs[-1] == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_total(self):
+        param = quadratic_param()
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(SGD([param], lr=0.1), peak_lr=1.0, total_steps=0)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3), abs=1e-6)
+
+    def test_cross_entropy_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_weighted_cross_entropy_downweights(self):
+        logits = Tensor(np.array([[0.0, 2.0], [0.0, 2.0]]))
+        labels = np.array([0, 1])
+        # All weight on the correct example -> lower loss than uniform.
+        focused = weighted_cross_entropy(logits, labels, np.array([0.01, 1.0]))
+        uniform = weighted_cross_entropy(logits, labels, np.array([1.0, 1.0]))
+        assert focused.item() < uniform.item()
+
+    def test_weighted_cross_entropy_validates(self):
+        with pytest.raises(ValueError):
+            weighted_cross_entropy(
+                Tensor(np.zeros((2, 2))), np.array([0, 1]), np.array([1.0])
+            )
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = Tensor(np.array([0.5, -1.0, 2.0]))
+        targets = np.array([1.0, 0.0, 1.0])
+        loss = binary_cross_entropy_with_logits(logits, targets).item()
+        probs = 1 / (1 + np.exp(-logits.data))
+        manual = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert loss == pytest.approx(manual, abs=1e-6)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_cosine_similarity_matrix(self):
+        a = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        sims = cosine_similarity_matrix(a, a).data
+        np.testing.assert_allclose(sims, np.eye(2), atol=1e-6)
+
+    def test_cosine_similarity_rows(self):
+        a = Tensor(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        b = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        sims = cosine_similarity_rows(a, b).data
+        np.testing.assert_allclose(sims, [1.0, 0.0], atol=1e-6)
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = Linear(3, 4, rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, metadata={"epoch": 3})
+        fresh = Linear(3, 4, np.random.default_rng(42))
+        meta = load_checkpoint(fresh, path)
+        assert meta == {"epoch": 3}
+        np.testing.assert_allclose(fresh.weight.data, model.weight.data)
+
+    def test_load_missing_suffix(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = Linear(2, 2, rng)
+        save_checkpoint(model, tmp_path / "ckpt")
+        fresh = Linear(2, 2, np.random.default_rng(1))
+        load_checkpoint(fresh, tmp_path / "ckpt")
+        np.testing.assert_allclose(fresh.weight.data, model.weight.data)

@@ -1,0 +1,82 @@
+"""Tests for the LSH approximate nearest-neighbour index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import LSHIndex
+
+
+def unit_vectors(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, dim))
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+class TestLSHIndex:
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            LSHIndex(dim=4).query(np.ones(4), 1)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LSHIndex(dim=4).build(np.ones((3, 5)))
+        with pytest.raises(ValueError):
+            LSHIndex(dim=4, num_tables=0)
+
+    def test_exact_self_retrieval(self):
+        vectors = unit_vectors(50, 16)
+        index = LSHIndex(dim=16, num_tables=6, num_bits=8).build(vectors)
+        indices, scores = index.query(vectors[7], k=1)
+        assert indices[0] == 7
+        assert scores[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_high_recall_against_exact(self):
+        vectors = unit_vectors(200, 24, seed=1)
+        index = LSHIndex(dim=24, num_tables=12, num_bits=4, seed=2).build(vectors)
+        recall = index.recall_against_exact(vectors[:40], k=5)
+        assert recall > 0.7
+
+    def test_more_tables_more_recall(self):
+        vectors = unit_vectors(200, 24, seed=3)
+        small = LSHIndex(dim=24, num_tables=2, num_bits=12, seed=4).build(vectors)
+        large = LSHIndex(dim=24, num_tables=16, num_bits=12, seed=4).build(vectors)
+        queries = vectors[:30]
+        assert large.recall_against_exact(queries, 5) >= small.recall_against_exact(
+            queries, 5
+        )
+
+    def test_query_batch_shapes_and_padding(self):
+        vectors = unit_vectors(20, 8, seed=5)
+        index = LSHIndex(dim=8, num_tables=4, num_bits=6).build(vectors)
+        indices, scores = index.query_batch(vectors[:3], k=4)
+        assert indices.shape == (3, 4)
+        assert scores.shape == (3, 4)
+        # Padding slots (if any) are -1 / -inf.
+        mask = indices == -1
+        assert (scores[mask] == -np.inf).all()
+
+    def test_scores_sorted_descending(self):
+        vectors = unit_vectors(60, 12, seed=6)
+        index = LSHIndex(dim=12, num_tables=8, num_bits=6).build(vectors)
+        _, scores = index.query(vectors[0], k=5)
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_deterministic_given_seed(self):
+        vectors = unit_vectors(40, 10, seed=7)
+        a = LSHIndex(dim=10, seed=11).build(vectors)
+        b = LSHIndex(dim=10, seed=11).build(vectors)
+        ia, _ = a.query(vectors[3], k=3)
+        ib, _ = b.query(vectors[3], k=3)
+        np.testing.assert_array_equal(ia, ib)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_property_lsh_returns_valid_indices(seed):
+    vectors = unit_vectors(30, 8, seed=seed)
+    index = LSHIndex(dim=8, num_tables=4, num_bits=5, seed=seed).build(vectors)
+    indices, _ = index.query(vectors[0], k=5)
+    assert ((indices >= 0) & (indices < 30)).all()
+    assert len(set(indices.tolist())) == len(indices)

@@ -1,0 +1,141 @@
+"""Tests for the tokenizer and serialization encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    CLS,
+    COL,
+    PAD,
+    SEP,
+    SPECIAL_TOKENS,
+    VAL,
+    Tokenizer,
+    word_tokenize,
+)
+
+
+class TestWordTokenize:
+    def test_lowercases(self):
+        assert word_tokenize("Instant IMMERSION") == ["instant", "immersion"]
+
+    def test_preserves_special_tokens(self):
+        tokens = word_tokenize("[COL] title [VAL] spanish 2.0")
+        assert tokens == ["[COL]", "title", "[VAL]", "spanish", "2.0"]
+
+    def test_decimal_numbers_stay_whole(self):
+        assert word_tokenize("price 36.11") == ["price", "36.11"]
+
+    def test_punctuation_split(self):
+        assert word_tokenize("4th-6th") == ["4th", "-", "6th"]
+
+    def test_empty(self):
+        assert word_tokenize("") == []
+
+
+def make_tokenizer():
+    corpus = [
+        "[COL] title [VAL] instant immersion spanish deluxe 2.0",
+        "[COL] title [VAL] adventure workshop 4th-6th grade",
+        "[COL] price [VAL] 36.11",
+    ]
+    return Tokenizer.fit(corpus, vocab_size=100)
+
+
+class TestTokenizer:
+    def test_special_tokens_first(self):
+        tok = make_tokenizer()
+        for i, token in enumerate(SPECIAL_TOKENS):
+            assert tok.vocab[token] == i
+
+    def test_encode_has_cls_and_sep(self):
+        tok = make_tokenizer()
+        enc = tok.encode("instant spanish", max_len=8)
+        assert enc.token_ids[0] == tok.cls_id
+        assert enc.token_ids[len(enc) - 1] == tok.sep_id
+
+    def test_encode_pads_to_max_len(self):
+        tok = make_tokenizer()
+        enc = tok.encode("instant", max_len=10)
+        assert enc.token_ids.shape == (10,)
+        assert enc.attention_mask.sum() == 3  # CLS + token + SEP
+        assert (enc.token_ids[3:] == tok.pad_id).all()
+
+    def test_encode_truncates(self):
+        tok = make_tokenizer()
+        enc = tok.encode("instant immersion spanish deluxe adventure", max_len=4)
+        assert len(enc) == 4
+        assert enc.token_ids[-1] == tok.sep_id
+
+    def test_unknown_tokens_map_to_unk(self):
+        tok = make_tokenizer()
+        enc = tok.encode("zzzzz", max_len=5)
+        assert enc.token_ids[1] == tok.unk_id
+
+    def test_encode_pair_segments(self):
+        tok = make_tokenizer()
+        enc = tok.encode_pair("instant spanish", "adventure grade", max_len=16)
+        # Segment 0 covers CLS + left + first SEP; segment 1 the rest.
+        sep_positions = np.flatnonzero(enc.token_ids == tok.sep_id)
+        assert len(sep_positions) == 2
+        first_sep = sep_positions[0]
+        assert (enc.segment_ids[: first_sep + 1] == 0).all()
+        active = enc.attention_mask == 1
+        assert (enc.segment_ids[first_sep + 1 :][active[first_sep + 1 :]] == 1).all()
+
+    def test_encode_pair_truncation_keeps_both_sides(self):
+        tok = make_tokenizer()
+        left = "instant immersion spanish deluxe instant immersion spanish"
+        right = "adventure workshop grade adventure workshop grade"
+        enc = tok.encode_pair(left, right, max_len=12)
+        assert len(enc) == 12
+        assert (enc.segment_ids[enc.attention_mask == 1] == 1).sum() >= 3
+
+    def test_encode_batch_shapes(self):
+        tok = make_tokenizer()
+        enc = tok.encode_batch(["instant", "spanish deluxe"], max_len=6)
+        assert enc.token_ids.shape == (2, 6)
+        assert enc.attention_mask.shape == (2, 6)
+
+    def test_decode_roundtrip(self):
+        tok = make_tokenizer()
+        enc = tok.encode("instant spanish", max_len=8)
+        assert tok.decode(enc.token_ids) == "[CLS] instant spanish [SEP]"
+
+    def test_vocab_size_cap(self):
+        tok = Tokenizer.fit(["a b c d e f g h"], vocab_size=10)
+        assert tok.vocab_size == 10
+
+    def test_min_count_filters(self):
+        tok = Tokenizer.fit(["rare common common"], vocab_size=100, min_count=2)
+        assert "common" in tok.vocab
+        assert "rare" not in tok.vocab
+
+    def test_rejects_bad_vocab_order(self):
+        with pytest.raises(ValueError):
+            Tokenizer({"x": 0})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    text=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+        max_size=40,
+    ),
+    max_len=st.integers(min_value=4, max_value=32),
+)
+def test_property_encoding_invariants(text, max_len):
+    tok = make_tokenizer()
+    enc = tok.encode(text, max_len=max_len)
+    assert enc.token_ids.shape == (max_len,)
+    # Attention mask is a prefix of ones.
+    active = int(enc.attention_mask.sum())
+    assert (enc.attention_mask[:active] == 1).all()
+    assert (enc.attention_mask[active:] == 0).all()
+    # All padding positions hold pad_id.
+    assert (enc.token_ids[active:] == tok.pad_id).all()
+    # Starts with CLS, last active token is SEP.
+    assert enc.token_ids[0] == tok.cls_id
+    assert enc.token_ids[active - 1] == tok.sep_id
