@@ -1,0 +1,168 @@
+"""Serving microbenchmark — batched vs per-record encoding, LSH vs exact
+blocking, on a generated 10k-record corpus (no paper table; see
+docs/benchmarks.md).
+
+Acceptance targets: batched ``EmbeddingStore`` encoding must be >= 2x the
+per-record throughput of calling the encoder one record at a time, and the
+LSH backend must retain >= 0.95 of the exact backend's top-k neighbours at
+the same candidate budget.  The encoder is randomly initialised (serving
+throughput does not depend on representation quality), so the benchmark
+runs in well under a minute on CPU.
+"""
+
+import time
+
+import numpy as np
+
+from _scale import once
+
+from repro import SudowoodoConfig, SudowoodoEncoder
+from repro.core import build_tokenizer
+from repro.data.generators import load_em_benchmark
+from repro.eval import format_table
+from repro.serve import EmbeddingStore, ExactBackend, LSHBackend
+
+MAX_TABLE = 5_000  # 5k + 5k records = the paper's fixed 10k corpus size
+PER_RECORD_SAMPLE = 500
+K = 10
+# (num_tables, num_bits) ladder: escalate tables until LSH hits the recall
+# target; more tables = more collision chances = higher recall.
+LSH_LADDER = [(32, 6), (48, 6), (64, 6)]
+
+
+def _center_normalize(raw_a, raw_b):
+    mean = np.vstack([raw_a, raw_b]).mean(axis=0, keepdims=True)
+    vectors = []
+    for raw in (raw_a, raw_b):
+        centered = raw - mean
+        norms = np.maximum(np.linalg.norm(centered, axis=1, keepdims=True), 1e-12)
+        vectors.append(centered / norms)
+    return vectors
+
+
+def test_serve_throughput(benchmark):
+    def run():
+        dataset = load_em_benchmark("AB", scale=5.0, max_table_size=MAX_TABLE)
+        texts_a = [dataset.serialize_a(i) for i in range(len(dataset.table_a))]
+        texts_b = [dataset.serialize_b(j) for j in range(len(dataset.table_b))]
+        corpus = texts_a + texts_b
+
+        config = SudowoodoConfig(
+            dim=32,
+            num_layers=2,
+            num_heads=4,
+            ffn_dim=64,
+            max_seq_len=32,
+            vocab_size=2000,
+            serve_batch_size=32,
+            seed=0,
+        )
+        encoder = SudowoodoEncoder(config, build_tokenizer(corpus, config))
+        encoder.embed_items(corpus[:64])  # warm up caches / thread pools
+
+        # -- per-record path: one encoder call per record (request-at-a-time)
+        sample = corpus[:PER_RECORD_SAMPLE]
+        start = time.perf_counter()
+        for text in sample:
+            encoder.embed_items([text], batch_size=1, normalize=False)
+        per_record_rps = len(sample) / (time.perf_counter() - start)
+
+        # -- batched path: EmbeddingStore chunks the whole corpus
+        store = EmbeddingStore(encoder, batch_size=config.serve_batch_size)
+        start = time.perf_counter()
+        raw_a = store.embed_batch(texts_a)
+        raw_b = store.embed_batch(texts_b)
+        batched_rps = len(corpus) / (time.perf_counter() - start)
+
+        # -- warm-cache path: every vector served from the fingerprint cache
+        misses_after_batched = store.stats()["misses"]
+        start = time.perf_counter()
+        store.embed_batch(corpus)
+        cached_rps = len(corpus) / (time.perf_counter() - start)
+        misses_after_warm = store.stats()["misses"]
+
+        # -- blocking: exact vs LSH at the same candidate budget K
+        vectors_a, vectors_b = _center_normalize(raw_a, raw_b)
+        start = time.perf_counter()
+        exact = ExactBackend().build(vectors_b)
+        exact_indices, _ = exact.query(vectors_a, K)
+        exact_seconds = time.perf_counter() - start
+
+        lsh_rows = []
+        chosen = None
+        for num_tables, num_bits in LSH_LADDER:
+            start = time.perf_counter()
+            lsh = LSHBackend(num_tables=num_tables, num_bits=num_bits, seed=0)
+            lsh.build(vectors_b)
+            approx_indices, _ = lsh.query(vectors_a, K)
+            lsh_seconds = time.perf_counter() - start
+            hits = sum(
+                len(
+                    set(exact_indices[row])
+                    & set(int(i) for i in approx_indices[row] if i >= 0)
+                )
+                for row in range(vectors_a.shape[0])
+            )
+            recall = hits / exact_indices.size
+            lsh_rows.append(
+                {
+                    "tables": num_tables,
+                    "bits": num_bits,
+                    "recall": recall,
+                    "seconds": lsh_seconds,
+                }
+            )
+            if recall >= 0.95:
+                chosen = lsh_rows[-1]
+                break
+
+        return {
+            "corpus": len(corpus),
+            "per_record_rps": per_record_rps,
+            "batched_rps": batched_rps,
+            "cached_rps": cached_rps,
+            "speedup": batched_rps / per_record_rps,
+            "exact_seconds": exact_seconds,
+            "lsh_rows": lsh_rows,
+            "lsh": chosen if chosen is not None else lsh_rows[-1],
+            "misses_after_batched": misses_after_batched,
+            "misses_after_warm": misses_after_warm,
+        }
+
+    results = once(benchmark, run)
+
+    print(
+        "\n"
+        + format_table(
+            ["path", "records/s"],
+            [
+                ["per-record encode", results["per_record_rps"]],
+                ["batched EmbeddingStore", results["batched_rps"]],
+                ["warm cache re-read", results["cached_rps"]],
+            ],
+            title=f"Serving throughput ({results['corpus']}-record corpus), "
+            f"batched speedup = {results['speedup']:.2f}x",
+        )
+    )
+    print(
+        "\n"
+        + format_table(
+            ["backend", "recall vs exact", "seconds"],
+            [["exact", 1.0, results["exact_seconds"]]]
+            + [
+                [f"lsh T={row['tables']} b={row['bits']}", row["recall"], row["seconds"]]
+                for row in results["lsh_rows"]
+            ],
+            title=f"Blocking backends at k={K}",
+        )
+    )
+
+    assert results["speedup"] >= 2.0, (
+        f"batched encoding only {results['speedup']:.2f}x per-record"
+    )
+    assert results["lsh"]["recall"] >= 0.95, (
+        f"LSH recall {results['lsh']['recall']:.3f} below 0.95 of exact"
+    )
+    # The warm read must not re-encode a single record.
+    assert results["misses_after_warm"] == results["misses_after_batched"]
+    assert results["cached_rps"] > results["batched_rps"]

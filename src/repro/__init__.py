@@ -22,16 +22,20 @@ from .core import (
     SudowoodoEncoder,
     SudowoodoPipeline,
 )
+from .serve import EmbeddingStore, MatchService, build_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Blocker",
     "CandidateSet",
+    "EmbeddingStore",
+    "MatchService",
     "PairwiseMatcher",
     "PipelineReport",
     "SudowoodoConfig",
     "SudowoodoEncoder",
     "SudowoodoPipeline",
+    "build_backend",
     "__version__",
 ]

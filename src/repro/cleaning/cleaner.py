@@ -27,6 +27,7 @@ from ..core.pipeline import _apply_class_balance
 from ..core.pretrain import pretrain
 from ..data.generators.cleaning import CleaningDataset
 from ..data.records import serialize_cell_context_free, serialize_row_contextual
+from ..serve import EmbeddingStore
 from ..utils import RngStream, Timer
 from .candidates import CandidateGenerator
 
@@ -89,6 +90,7 @@ class SudowoodoCleaner:
         self.context_attributes = context_attributes
         self.timer = Timer()
         self.matcher: Optional[PairwiseMatcher] = None
+        self.store: Optional[EmbeddingStore] = None
 
     # ------------------------------------------------------------------
     def _context_schema(self, dataset: CleaningDataset, attribute: str) -> List[str]:
@@ -162,6 +164,14 @@ class SudowoodoCleaner:
                 config.pretrain_epochs = 0
             result = pretrain(corpus, config)
         self.encoder = result.encoder
+        # Candidate corrections repeat heavily across cells (they come from
+        # shared domain vocabularies), so pruning goes through a cached
+        # embedding store instead of re-encoding per cell.
+        self.store = EmbeddingStore(
+            self.encoder,
+            batch_size=self.config.serve_batch_size,
+            capacity=self.config.embed_cache_capacity,
+        )
 
         rng = rngs.get("labeled-rows")
         num_rows = len(dataset.dirty)
@@ -214,6 +224,9 @@ class SudowoodoCleaner:
         with self.timer.section("finetune"):
             self.matcher = PairwiseMatcher(self.encoder)
             finetune_matcher(self.matcher, examples, examples, self.config)
+        # Fine-tuning mutated the encoder in place; drop any cached
+        # vectors so _prune embeds with the final weights only.
+        self.store.clear()
 
         # The labeled rows give an unbiased estimate of the *recoverable*
         # error rate; the apply phase repairs the same fraction of cells,
@@ -299,10 +312,10 @@ class SudowoodoCleaner:
         texts = [
             self._serialize_cell(dataset, row, attribute, c) for c in candidates
         ]
-        cell_vector = self.encoder.embed_items(
-            [self._serialize_cell(dataset, row, attribute, value)]
+        cell_vector = self.store.embed_batch(
+            [self._serialize_cell(dataset, row, attribute, value)], normalize=True
         )
-        candidate_vectors = self.encoder.embed_items(texts)
+        candidate_vectors = self.store.embed_batch(texts, normalize=True)
         scores = candidate_vectors @ cell_vector[0]
         keep = np.argsort(-scores)[: self.max_candidates]
         return [candidates[int(i)] for i in sorted(keep)]

@@ -24,7 +24,7 @@ from ..core.matcher import (
 from ..core.pipeline import _apply_class_balance
 from ..core.pretrain import pretrain
 from ..data.generators.columns import ColumnCorpus
-from ..text import top_k_cosine
+from ..serve import EmbeddingStore, build_backend
 from ..utils import RngStream, Timer
 
 
@@ -63,31 +63,43 @@ class ColumnMatchingPipeline:
         self.max_values = max_values_per_column
         self.timer = Timer()
         self.matcher: Optional[PairwiseMatcher] = None
+        self.store: Optional[EmbeddingStore] = None
 
     # ------------------------------------------------------------------
     def pretrain_on(self, corpus: ColumnCorpus) -> "ColumnMatchingPipeline":
+        """Pre-train on serialized columns and warm the embedding store."""
         self.corpus = corpus
         self.texts = corpus.serialized(max_values=self.max_values)
         with self.timer.section("pretrain"):
             result = pretrain(self.texts, self.config)
         self.encoder = result.encoder
+        self.store = EmbeddingStore(
+            self.encoder,
+            batch_size=self.config.serve_batch_size,
+            capacity=self.config.embed_cache_capacity,
+        )
         with self.timer.section("embed"):
-            raw = self.encoder.embed_items(self.texts, normalize=False)
+            raw = self.store.embed_batch(self.texts)
             raw = raw - raw.mean(axis=0, keepdims=True)
             norms = np.maximum(np.linalg.norm(raw, axis=1, keepdims=True), 1e-12)
             self.vectors = raw / norms
+        self._backend = build_backend(self.config).build(self.vectors)
         return self
 
     # ------------------------------------------------------------------
     def candidate_pairs(self, k: int = 20) -> List[Tuple[int, int]]:
-        """kNN blocking among columns (self-match excluded, deduplicated)."""
+        """kNN blocking among columns (self-match excluded, deduplicated).
+
+        Candidate generation goes through the config-selected ANN backend
+        (exact by default, LSH via ``ann_backend="lsh"``).
+        """
         with self.timer.section("blocking"):
-            indices, _ = top_k_cosine(self.vectors, self.vectors, k=k + 1)
+            indices, _ = self._backend.query(self.vectors, k + 1)
             pairs: Set[Tuple[int, int]] = set()
             for i in range(indices.shape[0]):
                 for j in indices[i]:
                     j = int(j)
-                    if j == i:
+                    if j == i or j < 0:
                         continue
                     pairs.add((min(i, j), max(i, j)))
         return sorted(pairs)
@@ -141,6 +153,10 @@ class ColumnMatchingPipeline:
         self.matcher = PairwiseMatcher(self.encoder)
         with self.timer.section("finetune"):
             finetune_matcher(self.matcher, train, valid, self.config)
+        if self.store is not None:
+            # Fine-tuning mutated the shared encoder; invalidate cached
+            # vectors so any MatchService reusing this store re-encodes.
+            self.store.clear()
         with self.timer.section("evaluate"):
             valid_metrics = evaluate_f1(
                 self.matcher,

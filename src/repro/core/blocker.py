@@ -4,17 +4,30 @@ Every record of table A is embedded and its k nearest neighbours in table B
 (cosine similarity over unit-norm vectors) form the candidate set.  The
 evaluation follows the paper and DL-Block: recall over positives from all
 three splits, and candidate-set-size-ratio CSSR = |C| / (|A|·|B|).
+
+Embeddings are produced through a :class:`~repro.serve.store.EmbeddingStore`
+(each distinct record is encoded once per process, then served from the
+cache) and candidate search goes through the pluggable
+:class:`~repro.serve.backends.ANNBackend` protocol — exact brute-force by
+default, random-hyperplane LSH for large corpora:
+
+>>> from repro.serve import EmbeddingStore, build_backend
+>>> store = EmbeddingStore(encoder)
+>>> backend = build_backend(config)        # config.ann_backend: "exact"|"lsh"
+>>> blocker = Blocker(encoder, dataset, store=store, backend=backend)
+>>> candidate_set = blocker.candidates(k=10)
+>>> candidate_set.recall(dataset.matches), candidate_set.cssr()  # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..data import EMDataset
-from ..text import top_k_cosine
+from ..serve import ANNBackend, EmbeddingStore, ExactBackend
 from .encoder import SudowoodoEncoder
 
 
@@ -42,30 +55,61 @@ class CandidateSet:
         return len(self.pairs) / total if total else 0.0
 
     def recall(self, matches: Set[Tuple[int, int]]) -> float:
+        """Fraction of ground-truth matches retained in the candidates."""
         if not matches:
             return 0.0
         retained = sum(1 for pair in matches if pair in self.scores)
         return retained / len(matches)
 
     def contains(self, left: int, right: int) -> bool:
+        """Whether the (left, right) pair survived blocking."""
         return (left, right) in self.scores
 
 
 class Blocker:
-    """Embeds both tables once, then answers kNN candidate queries."""
+    """Embeds both tables once, then answers kNN candidate queries.
+
+    Parameters
+    ----------
+    encoder:
+        The representation model (ignored when ``store`` is given).
+    dataset:
+        The two-table EM dataset to block.
+    batch_size:
+        Encode chunk size when the blocker creates its own store.
+    center:
+        Subtract the joint corpus mean before normalizing (see below).
+    store:
+        Share an existing :class:`EmbeddingStore` so a corpus already
+        embedded by another task is not re-encoded.
+    backend:
+        ANN backend instance; defaults to :class:`ExactBackend` (the seed
+        behaviour).  Backends may return fewer than ``k`` neighbours per
+        query (``-1`` padding), which :meth:`candidates` skips.
+    """
 
     def __init__(
         self,
-        encoder: SudowoodoEncoder,
-        dataset: EMDataset,
+        encoder: Optional[SudowoodoEncoder] = None,
+        dataset: Optional[EMDataset] = None,
         batch_size: int = 64,
         center: bool = True,
+        store: Optional[EmbeddingStore] = None,
+        backend: Optional[ANNBackend] = None,
     ) -> None:
+        if dataset is None:
+            raise ValueError("Blocker requires a dataset")
+        if store is None:
+            if encoder is None:
+                raise ValueError("Blocker requires an encoder or an EmbeddingStore")
+            store = EmbeddingStore(encoder, batch_size=batch_size)
         self.dataset = dataset
+        self.store = store
+        self.backend = backend if backend is not None else ExactBackend()
         items_a = [dataset.serialize_a(i) for i in range(len(dataset.table_a))]
         items_b = [dataset.serialize_b(j) for j in range(len(dataset.table_b))]
-        raw_a = encoder.embed_items(items_a, batch_size=batch_size, normalize=False)
-        raw_b = encoder.embed_items(items_b, batch_size=batch_size, normalize=False)
+        raw_a = store.embed_batch(items_a, chunk_size=batch_size)
+        raw_b = store.embed_batch(items_b, chunk_size=batch_size)
         if center:
             # Small Transformers produce anisotropic embeddings (a shared
             # mean direction dominates every vector, so all cosines are
@@ -77,16 +121,20 @@ class Blocker:
             raw_b = raw_b - mean
         self.vectors_a = _normalize_rows(raw_a)
         self.vectors_b = _normalize_rows(raw_b)
+        self.backend.build(self.vectors_b)
 
     # ------------------------------------------------------------------
     def candidates(self, k: int) -> CandidateSet:
-        """Top-k nearest B records for every A record."""
-        indices, scores = top_k_cosine(self.vectors_a, self.vectors_b, k=k)
+        """Top-k nearest B records for every A record (via the backend)."""
+        indices, scores = self.backend.query(self.vectors_a, k)
         pairs: List[Tuple[int, int]] = []
         score_map: Dict[Tuple[int, int], float] = {}
         for a_index in range(indices.shape[0]):
             for rank in range(indices.shape[1]):
-                pair = (a_index, int(indices[a_index, rank]))
+                b_index = int(indices[a_index, rank])
+                if b_index < 0:  # approximate backends pad short rows
+                    continue
+                pair = (a_index, b_index)
                 pairs.append(pair)
                 score_map[pair] = float(scores[a_index, rank])
         return CandidateSet(

@@ -21,6 +21,13 @@ from typing import Optional
 
 @dataclass
 class SudowoodoConfig:
+    """All model, training, pseudo-labeling, and serving hyper-parameters.
+
+    Defaults are the CPU-scale calibration of the paper's Table IV /
+    Section VI-A2 settings; every field can be overridden per experiment
+    and :meth:`ablated` flips the four optimization switches.
+    """
+
     # ------------------------------------------------------------- model
     dim: int = 48
     num_layers: int = 2
@@ -75,6 +82,17 @@ class SudowoodoConfig:
     blocking_k: int = 10
     seed: int = 0
 
+    # ----------------------------------------------------------- serving
+    # ANN backend for candidate generation ("exact" | "lsh" | any name
+    # registered via repro.serve.register_backend).
+    ann_backend: str = "exact"
+    lsh_num_tables: int = 16
+    lsh_num_bits: int = 8
+    # EmbeddingStore: encode chunk size and optional LRU cache bound
+    # (None = cache every vector, the right default for batch pipelines).
+    serve_batch_size: int = 64
+    embed_cache_capacity: Optional[int] = None
+
     # ------------------------------------------------- optimization flags
     use_pseudo_labeling: bool = True
     use_cluster_sampling: bool = True
@@ -97,6 +115,7 @@ class SudowoodoConfig:
         )
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range hyper-parameters."""
         if not 0.0 < self.temperature <= 1.0:
             raise ValueError("temperature must be in (0, 1]")
         if not 0.0 <= self.alpha_bt <= 1.0:
@@ -107,3 +126,11 @@ class SudowoodoConfig:
             raise ValueError("multiplier must be >= 1")
         if self.cutoff_kind not in ("token", "feature", "span", "none"):
             raise ValueError(f"unknown cutoff kind {self.cutoff_kind!r}")
+        if not self.ann_backend:
+            raise ValueError("ann_backend must be a non-empty backend name")
+        if self.lsh_num_tables < 1 or self.lsh_num_bits < 1:
+            raise ValueError("lsh_num_tables and lsh_num_bits must be positive")
+        if self.serve_batch_size < 1:
+            raise ValueError("serve_batch_size must be positive")
+        if self.embed_cache_capacity is not None and self.embed_cache_capacity < 1:
+            raise ValueError("embed_cache_capacity must be positive or None")

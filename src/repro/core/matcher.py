@@ -45,6 +45,8 @@ class TrainingExample:
 
 @dataclass
 class FinetuneResult:
+    """Fine-tuning trace: per-epoch losses and the best validation F1."""
+
     epoch_losses: List[float] = field(default_factory=list)
     best_valid_f1: float = 0.0
     best_epoch: int = -1
@@ -103,6 +105,7 @@ class PairwiseMatcher(Module):
     def predict(
         self, pairs: Sequence[Tuple[str, str]], batch_size: int = 32
     ) -> np.ndarray:
+        """Hard 0/1 match decisions (argmax over :meth:`predict_proba`)."""
         return self.predict_proba(pairs, batch_size=batch_size).argmax(axis=1)
 
 
@@ -212,6 +215,7 @@ def evaluate_f1(
 
 
 def f1_from_predictions(labels: np.ndarray, predictions: np.ndarray) -> dict:
+    """Precision / recall / F1 from already-computed hard predictions."""
     labels = np.asarray(labels)
     predictions = np.asarray(predictions)
     true_pos = int(((predictions == 1) & (labels == 1)).sum())

@@ -1,9 +1,14 @@
-"""Persistence for pre-trained Sudowoodo encoders.
+"""Persistence for pre-trained Sudowoodo encoders and embedding caches.
 
-A checkpoint bundles the encoder + projector weights with the fitted
-tokenizer vocabulary and the full config, so a pre-trained representation
-model can be reused across tasks (the paper's multi-purpose premise)
-without re-running contrastive pre-training.
+An encoder checkpoint bundles the encoder + projector weights with the
+fitted tokenizer vocabulary and the full config, so a pre-trained
+representation model can be reused across tasks (the paper's
+multi-purpose premise) without re-running contrastive pre-training.
+
+A *vector cache* is the companion artifact for the serving layer: the
+fingerprint-keyed embedding matrix an
+:class:`~repro.serve.store.EmbeddingStore` accumulated, persisted so a
+re-started service skips re-encoding a corpus entirely.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..nn import load_checkpoint, save_checkpoint
 from ..text import SPECIAL_TOKENS, Tokenizer
@@ -19,6 +26,14 @@ from .config import SudowoodoConfig
 from .encoder import SudowoodoEncoder
 
 PathLike = Union[str, Path]
+
+
+def _resolve_npz(path: PathLike) -> Path:
+    """Resolve a possibly suffixless path to the ``.npz`` numpy wrote."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def save_encoder(encoder: SudowoodoEncoder, path: PathLike) -> Path:
@@ -35,11 +50,7 @@ def load_encoder(path: PathLike) -> SudowoodoEncoder:
     """Rebuild a :class:`SudowoodoEncoder` from :func:`save_encoder` output."""
     # Read metadata first to reconstruct the module skeleton, then load
     # weights into it.
-    import numpy as np
-
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _resolve_npz(path)
     with np.load(path) as archive:
         metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
     if metadata.get("format_version") != 1:
@@ -53,3 +64,53 @@ def load_encoder(path: PathLike) -> SudowoodoEncoder:
     load_checkpoint(encoder, path)
     encoder.eval()
     return encoder
+
+
+# ----------------------------------------------------------------------
+# Vector caches (serving layer)
+# ----------------------------------------------------------------------
+def save_vector_cache(
+    path: PathLike,
+    fingerprints: Sequence[str],
+    vectors: np.ndarray,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a fingerprint-keyed embedding matrix to one ``.npz`` file.
+
+    ``fingerprints[i]`` keys ``vectors[i]``; ``metadata`` (JSON-serializable)
+    typically records the embedding dimension and an encoder fingerprint so
+    :func:`load_vector_cache` consumers can reject stale caches.
+    """
+    fingerprints = list(fingerprints)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] != len(fingerprints):
+        raise ValueError(
+            f"expected ({len(fingerprints)}, dim) vectors, got {vectors.shape}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "fingerprints": np.asarray(fingerprints, dtype=np.str_),
+        "vectors": vectors,
+        "__metadata__": np.frombuffer(
+            json.dumps({"format_version": 1, **(metadata or {})}).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+    }
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_vector_cache(
+    path: PathLike,
+) -> Tuple[List[str], np.ndarray, Dict[str, Any]]:
+    """Read ``(fingerprints, vectors, metadata)`` written by
+    :func:`save_vector_cache`."""
+    path = _resolve_npz(path)
+    with np.load(path) as archive:
+        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+        if metadata.get("format_version") != 1:
+            raise ValueError(f"unsupported vector cache format in {path}")
+        fingerprints = [str(key) for key in archive["fingerprints"]]
+        vectors = np.asarray(archive["vectors"], dtype=np.float64)
+    return fingerprints, vectors, metadata

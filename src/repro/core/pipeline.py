@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..data import EMDataset, LabeledPair
+from ..serve import EmbeddingStore, MatchService, build_backend
 from ..utils import RngStream, Timer
 from .blocker import Blocker, CandidateSet
 from .config import SudowoodoConfig
@@ -47,6 +48,7 @@ class PipelineReport:
 
     @property
     def f1(self) -> float:
+        """Test-set F1 — the headline number of every paper table."""
         return self.test_metrics.get("f1", 0.0)
 
 
@@ -75,6 +77,7 @@ class SudowoodoPipeline:
         self.encoder: Optional[SudowoodoEncoder] = None
         self.matcher: Optional[PairwiseMatcher] = None
         self.pretrain_result: Optional[PretrainResult] = None
+        self.store: Optional[EmbeddingStore] = None
         self._blocker: Optional[Blocker] = None
         self._pseudo: Optional[PseudoLabelSet] = None
         self.timer = Timer()
@@ -88,6 +91,14 @@ class SudowoodoPipeline:
         with self.timer.section("pretrain"):
             self.pretrain_result = pretrain(dataset.all_items(), self.config)
         self.encoder = self.pretrain_result.encoder
+        # One embedding store per pre-trained encoder: blocking, pseudo
+        # labeling, and any MatchService built from this pipeline share its
+        # cache, so the corpus is encoded exactly once.
+        self.store = EmbeddingStore(
+            self.encoder,
+            batch_size=self.config.serve_batch_size,
+            capacity=self.config.embed_cache_capacity,
+        )
         self._blocker = None
         self._pseudo = None
         return self.pretrain_result
@@ -102,14 +113,36 @@ class SudowoodoPipeline:
     # ------------------------------------------------------------------
     @property
     def blocker(self) -> Blocker:
+        """Lazily built blocker sharing the pipeline's embedding store."""
         encoder = self._require_encoder()
         if self._blocker is None:
             with self.timer.section("blocking"):
-                self._blocker = Blocker(encoder, self.dataset)
+                self._blocker = Blocker(
+                    encoder,
+                    self.dataset,
+                    store=self.store,
+                    backend=build_backend(self.config),
+                )
         return self._blocker
 
     def block(self, k: Optional[int] = None) -> CandidateSet:
+        """Candidate pairs at ``k`` (default: ``config.blocking_k``)."""
         return self.blocker.candidates(k or self.config.blocking_k)
+
+    def match_service(self) -> MatchService:
+        """Request-level serving facade sharing this pipeline's store.
+
+        The returned service reuses the pipeline's :class:`EmbeddingStore`
+        and, when a matcher has been fine-tuned, serves ``match_pairs``
+        with it.  Before fine-tuning, corpora embedded during blocking are
+        already cached; after :meth:`train_matcher` the cache starts empty
+        (fine-tuning mutates the encoder, so pre-finetune vectors were
+        dropped) and re-warms on first use.
+        """
+        encoder = self._require_encoder()
+        return MatchService(
+            encoder, config=self.config, store=self.store, matcher=self.matcher
+        )
 
     # ------------------------------------------------------------------
     # ③ Pseudo-labeling
@@ -120,6 +153,7 @@ class SudowoodoPipeline:
         exclude: Optional[Set[Tuple[int, int]]] = None,
         k: Optional[int] = None,
     ) -> PseudoLabelSet:
+        """Similarity-ranked pseudo labels over the candidate set (③)."""
         candidate_set = self.block(k)
         effective_ratio = max(
             0.01, self.config.positive_ratio * self.config.pseudo_positive_fraction
@@ -206,6 +240,7 @@ class SudowoodoPipeline:
     def train_matcher(
         self, label_budget: int = 500, head: str = "sudowoodo"
     ) -> FinetuneResult:
+        """Fine-tune the pairwise matcher (④) on manual + pseudo labels."""
         encoder = self._require_encoder()
         train, valid = self.build_training_set(label_budget)
         # The step budget is what the *manual* set alone would consume, so
@@ -220,12 +255,20 @@ class SudowoodoPipeline:
             result = finetune_matcher(
                 self.matcher, train, valid, self.config, fixed_steps=fixed_steps
             )
+        if self.store is not None:
+            # Fine-tuning updated the encoder weights in place, so cached
+            # vectors now come from a stale model; drop them so later
+            # serving requests re-encode consistently.  (Blocking and
+            # pseudo-labels already consumed the pre-finetune vectors —
+            # the paper's ordering — so nothing upstream is affected.)
+            self.store.clear()
         return result
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, split: str = "test") -> Dict[str, float]:
+        """Precision / recall / F1 of the trained matcher on ``split``."""
         if self.matcher is None or self.dataset is None:
             raise RuntimeError("train a matcher first")
         pairs = getattr(self.dataset.pairs, split)

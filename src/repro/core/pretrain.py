@@ -35,6 +35,7 @@ class PretrainResult:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last pre-training epoch (NaN when untrained)."""
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 
@@ -64,17 +65,21 @@ class OperatorScheduler:
         self._running_loss: Optional[float] = None
 
     def weights(self) -> dict:
+        """Softmax selection probabilities over the candidate operators."""
         values = np.array([self._scores[op] for op in self.operators])
         exp = np.exp(values - values.max())
         probabilities = exp / exp.sum()
         return dict(zip(self.operators, probabilities))
 
     def sample(self) -> str:
+        """Draw the DA operator for the next batch."""
         weights = self.weights()
         probabilities = [weights[op] for op in self.operators]
         return str(self.rng.choice(self.operators, p=probabilities))
 
     def update(self, operator: str, loss: float) -> None:
+        """Reward ``operator`` by its loss advantage over the running mean
+        (harder augmentations -> higher contrastive loss -> more weight)."""
         if self._running_loss is None:
             self._running_loss = loss
         advantage = loss - self._running_loss

@@ -1,0 +1,38 @@
+"""Serving layer: batched embedding store + pluggable ANN backends.
+
+The paper's multi-purpose premise is that one contrastively pre-trained
+representation model serves blocking, matching, cleaning, and column
+discovery.  This package makes that reuse concrete at serving time:
+
+* :class:`EmbeddingStore` — batch-encodes records through
+  :class:`~repro.core.encoder.SudowoodoEncoder` in configurable chunks and
+  caches the vectors keyed by record fingerprint, so a corpus is encoded
+  once and shared by every downstream task.
+* :class:`ANNBackend` / :class:`ExactBackend` / :class:`LSHBackend` — the
+  pluggable similarity-search protocol behind blocking, selected via
+  ``SudowoodoConfig.ann_backend``.
+* :class:`MatchService` — a request-level facade exposing
+  ``embed_batch`` / ``block`` / ``match_pairs`` with warm-cache reuse.
+"""
+
+from .backends import (
+    ANNBackend,
+    ExactBackend,
+    LSHBackend,
+    available_backends,
+    build_backend,
+    register_backend,
+)
+from .service import MatchService
+from .store import EmbeddingStore
+
+__all__ = [
+    "ANNBackend",
+    "EmbeddingStore",
+    "ExactBackend",
+    "LSHBackend",
+    "MatchService",
+    "available_backends",
+    "build_backend",
+    "register_backend",
+]

@@ -1,0 +1,167 @@
+"""Pluggable approximate-nearest-neighbour backends for blocking.
+
+The paper indexes learned embeddings with a high-dimensional similarity
+search technique (Section II-C); which index is the right one depends on
+corpus size, so the blocker talks to a small backend protocol instead of a
+hard-coded search routine:
+
+* :class:`ExactBackend` — brute-force cosine top-k (the seed behaviour,
+  exact and fast at reproduction scale).
+* :class:`LSHBackend` — random-hyperplane LSH via
+  :class:`~repro.text.lsh.LSHIndex`, sub-linear candidate generation for
+  large corpora.
+
+Backends are selected by name through ``SudowoodoConfig.ann_backend`` and
+the :func:`build_backend` registry; third-party indexes plug in with
+:func:`register_backend`.
+
+>>> backend = build_backend(config)          # config.ann_backend == "lsh"
+>>> backend.build(corpus_vectors)
+>>> indices, scores = backend.query(query_vectors, k=10)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import SudowoodoConfig
+from ..text.lsh import LSHIndex
+from ..text.similarity import top_k_cosine
+
+
+class ANNBackend(abc.ABC):
+    """Protocol for candidate-generating similarity indexes.
+
+    ``build`` indexes a corpus of (ideally unit-norm) vectors; ``query``
+    returns per-row top-k ``(indices, scores)`` arrays of shape
+    ``(num_queries, k)``.  Rows with fewer than ``k`` results are padded
+    with ``-1`` indices and ``-inf`` scores — consumers must skip negative
+    indices.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, vectors: np.ndarray) -> "ANNBackend":
+        """Index a ``(N, dim)`` corpus; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(indices, scores)`` for each query row."""
+
+    def _require_built(self, vectors: Optional[np.ndarray]) -> np.ndarray:
+        if vectors is None:
+            raise RuntimeError(f"{self.name} backend: call build() before query()")
+        return vectors
+
+
+class ExactBackend(ANNBackend):
+    """Brute-force cosine top-k — exact results, O(N) per query."""
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        self._vectors: Optional[np.ndarray] = None
+
+    def build(self, vectors: np.ndarray) -> "ExactBackend":
+        self._vectors = np.asarray(vectors, dtype=np.float64)
+        return self
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        vectors = self._require_built(self._vectors)
+        queries = np.asarray(queries, dtype=np.float64)
+        if vectors.shape[0] == 0:
+            return (
+                np.full((queries.shape[0], k), -1, dtype=np.int64),
+                np.full((queries.shape[0], k), -np.inf),
+            )
+        indices, scores = top_k_cosine(queries, vectors, k=min(k, vectors.shape[0]))
+        if indices.shape[1] < k:
+            # Honour the protocol shape: pad rows out to k like the
+            # approximate backends do, so "exact" and "lsh" stay
+            # interchangeable for consumers that rely on the contract.
+            pad = k - indices.shape[1]
+            indices = np.pad(indices, ((0, 0), (0, pad)), constant_values=-1)
+            scores = np.pad(scores, ((0, 0), (0, pad)), constant_values=-np.inf)
+        return indices, scores
+
+
+class LSHBackend(ANNBackend):
+    """Random-hyperplane LSH with exact re-ranking of bucket candidates.
+
+    Approximate: recall against the exact top-k grows with ``num_tables``
+    and shrinks with ``num_bits`` (bigger buckets = more candidates =
+    higher recall, slower queries).  Deterministic for a fixed ``seed``.
+    """
+
+    name = "lsh"
+
+    def __init__(self, num_tables: int = 16, num_bits: int = 8, seed: int = 0) -> None:
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        self.seed = seed
+        self._index: Optional[LSHIndex] = None
+
+    def build(self, vectors: np.ndarray) -> "LSHBackend":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        self._index = LSHIndex(
+            dim=vectors.shape[1],
+            num_tables=self.num_tables,
+            num_bits=self.num_bits,
+            seed=self.seed,
+        ).build(vectors)
+        return self
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._index is None:
+            raise RuntimeError("lsh backend: call build() before query()")
+        return self._index.query_batch(np.asarray(queries, dtype=np.float64), k)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+BackendFactory = Callable[[SudowoodoConfig], ANNBackend]
+
+_BACKENDS: Dict[str, BackendFactory] = {
+    "exact": lambda config: ExactBackend(),
+    "lsh": lambda config: LSHBackend(
+        num_tables=config.lsh_num_tables,
+        num_bits=config.lsh_num_bits,
+        seed=config.seed,
+    ),
+}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a custom backend factory under ``name``.
+
+    The factory receives the full :class:`SudowoodoConfig` so custom
+    backends can read their own tuning knobs from it.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names accepted by ``SudowoodoConfig.ann_backend``."""
+    return sorted(_BACKENDS)
+
+
+def build_backend(
+    config: Optional[SudowoodoConfig] = None, name: Optional[str] = None
+) -> ANNBackend:
+    """Instantiate the backend selected by ``name`` or ``config.ann_backend``."""
+    config = config or SudowoodoConfig()
+    chosen = name or config.ann_backend
+    try:
+        factory = _BACKENDS[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown ANN backend {chosen!r}; available: {available_backends()}"
+        ) from None
+    return factory(config)

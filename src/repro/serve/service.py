@@ -1,0 +1,176 @@
+"""Request-level facade over the embedding store and ANN backends.
+
+``MatchService`` is the serving entry point shared by the EM, cleaning,
+and column-matching workloads: callers hand it raw serialized texts and
+get embeddings, blocking candidates, or match probabilities back, while
+the underlying :class:`EmbeddingStore` guarantees each distinct text is
+encoded exactly once per process.
+
+>>> service = MatchService(encoder, config)
+>>> vectors = service.embed_batch(corpus)                 # warm the cache
+>>> candidates = service.block(texts_a, texts_b, k=10)    # reuses vectors
+>>> probabilities = service.match_pairs(pairs)            # trained matcher
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import SudowoodoConfig
+from ..core.encoder import SudowoodoEncoder
+from .backends import ANNBackend, build_backend
+from .store import EmbeddingStore, _normalize_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (blocker imports serve)
+    from ..core.blocker import CandidateSet
+    from ..core.matcher import PairwiseMatcher
+
+
+class MatchService:
+    """Batched ``embed_batch`` / ``block`` / ``match_pairs`` APIs.
+
+    Parameters
+    ----------
+    encoder:
+        The shared representation model.
+    config:
+        Serving knobs (``serve_batch_size``, ``ann_backend``,
+        ``embed_cache_capacity``); defaults to the encoder's own config.
+    store:
+        Pass an existing :class:`EmbeddingStore` to share its warm cache
+        (e.g. the one a :class:`~repro.core.pipeline.SudowoodoPipeline`
+        already filled during blocking).
+    backend:
+        Override the config-selected ANN backend instance.
+    matcher:
+        Optional trained pairwise matcher enabling :meth:`match_pairs`.
+    """
+
+    def __init__(
+        self,
+        encoder: SudowoodoEncoder,
+        config: Optional[SudowoodoConfig] = None,
+        store: Optional[EmbeddingStore] = None,
+        backend: Optional[ANNBackend] = None,
+        matcher: Optional["PairwiseMatcher"] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.config = config if config is not None else encoder.config
+        if store is None:
+            # NB: explicit None check — an *empty* store is falsy (it
+            # defines __len__), and replacing a shared-but-cleared store
+            # with a fresh one would silently break cache sharing.
+            store = EmbeddingStore(
+                encoder,
+                batch_size=self.config.serve_batch_size,
+                capacity=self.config.embed_cache_capacity,
+            )
+        self.store = store
+        self._backend = backend
+        self.matcher = matcher
+
+    # ------------------------------------------------------------------
+    def embed_batch(
+        self, texts: Sequence[str], normalize: bool = True
+    ) -> np.ndarray:
+        """Embed ``texts`` through the shared store (cache-first)."""
+        return self.store.embed_batch(texts, normalize=normalize)
+
+    # ------------------------------------------------------------------
+    def block(
+        self,
+        texts_a: Sequence[str],
+        texts_b: Optional[Sequence[str]] = None,
+        k: int = 10,
+        center: bool = True,
+    ) -> "CandidateSet":
+        """kNN blocking candidates of ``texts_a`` against ``texts_b``.
+
+        ``texts_b=None`` blocks a corpus against itself (column-matching
+        style); trivial self-pairs ``(i, i)`` are excluded and each row
+        still gets up to ``k`` real neighbours.  Embeddings come from the
+        warm cache; centering uses the joint mean of both corpora (see
+        ``core.blocker`` for why small encoders need it).
+        """
+        from ..core.blocker import CandidateSet  # deferred: blocker imports serve
+
+        self_join = texts_b is None
+        if self_join:
+            texts_b = texts_a
+        raw_a = self.store.embed_batch(texts_a)
+        raw_b = raw_a if self_join else self.store.embed_batch(texts_b)
+        if center and (raw_a.size or raw_b.size):
+            mean = np.vstack([raw_a, raw_b]).mean(axis=0, keepdims=True)
+            raw_a = raw_a - mean
+            raw_b = raw_b - mean
+        vectors_a = _normalize_rows(raw_a)
+        vectors_b = _normalize_rows(raw_b)
+        backend = self._backend or build_backend(self.config)
+        backend.build(vectors_b)
+        indices, scores = backend.query(vectors_a, k + 1 if self_join else k)
+        pairs, score_map = _collect_pairs(
+            indices, scores, exclude_self=self_join, per_row_cap=k
+        )
+        return CandidateSet(
+            pairs=pairs,
+            scores=score_map,
+            num_a=vectors_a.shape[0],
+            num_b=vectors_b.shape[0],
+            k=k,
+        )
+
+    # ------------------------------------------------------------------
+    def match_pairs(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Match probabilities (``(N, 2)`` softmax rows) for text pairs.
+
+        Requires a trained matcher — either passed at construction or
+        attached later via :meth:`attach_matcher`.
+        """
+        if self.matcher is None:
+            raise RuntimeError(
+                "no matcher attached; pass matcher= or call attach_matcher()"
+            )
+        return self.matcher.predict_proba(
+            list(pairs), batch_size=batch_size or self.config.serve_batch_size
+        )
+
+    def attach_matcher(self, matcher: "PairwiseMatcher") -> "MatchService":
+        """Bind a (fine-tuned) pairwise matcher for :meth:`match_pairs`."""
+        self.matcher = matcher
+        return self
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache statistics of the underlying embedding store."""
+        return self.store.stats()
+
+
+def _collect_pairs(
+    indices: np.ndarray,
+    scores: np.ndarray,
+    exclude_self: bool = False,
+    per_row_cap: Optional[int] = None,
+):
+    """Flatten backend output into (pairs, score map), skipping -1 padding
+    (and, for self-joins, the trivial ``(i, i)`` matches)."""
+    pairs = []
+    score_map = {}
+    for a_index in range(indices.shape[0]):
+        kept = 0
+        for rank in range(indices.shape[1]):
+            b_index = int(indices[a_index, rank])
+            if b_index < 0 or (exclude_self and b_index == a_index):
+                continue
+            if per_row_cap is not None and kept >= per_row_cap:
+                break
+            pair = (a_index, b_index)
+            pairs.append(pair)
+            score_map[pair] = float(scores[a_index, rank])
+            kept += 1
+    return pairs, score_map

@@ -1,0 +1,222 @@
+"""Fingerprint-keyed embedding cache over a Sudowoodo encoder.
+
+The store turns the encoder's per-call ``embed_items`` into a service-style
+primitive: every requested text is fingerprinted, previously seen texts are
+served from the cache, and only the misses are batch-encoded (in
+configurable chunks).  Cached vectors are the *raw* pooled outputs —
+normalization and corpus centering are cheap per-request transforms, so
+they stay out of the cache and one stored vector serves every consumer.
+
+>>> store = EmbeddingStore(encoder, batch_size=64)
+>>> vectors = store.embed_batch(corpus)          # encodes everything once
+>>> vectors = store.embed_batch(corpus)          # pure cache hits
+>>> store.save("vectors.npz")                    # persist across processes
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.encoder import SudowoodoEncoder
+from ..core.persistence import load_vector_cache, save_vector_cache
+
+PathLike = Union[str, Path]
+
+
+def _normalize_rows(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    norms = np.maximum(np.linalg.norm(matrix, axis=1, keepdims=True), eps)
+    return matrix / norms
+
+
+class EmbeddingStore:
+    """Batched, cached embedding lookups for one encoder.
+
+    Parameters
+    ----------
+    encoder:
+        The pre-trained (or at least constructed) embedding model.  The
+        cache is only valid for this encoder; persistence records an
+        encoder fingerprint so a stale cache cannot be silently reloaded
+        into a different model.
+    batch_size:
+        Chunk size for encoding cache misses.
+    capacity:
+        Optional LRU bound on the number of cached vectors (``None`` keeps
+        everything — the right default for corpus-at-a-time pipelines).
+    """
+
+    def __init__(
+        self,
+        encoder: SudowoodoEncoder,
+        batch_size: int = 64,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.encoder = encoder
+        self.batch_size = batch_size
+        self.capacity = capacity
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(text: str) -> str:
+        """Stable cache key for a serialized record."""
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+    def encoder_fingerprint(self) -> str:
+        """Identity of the encoder the cached vectors belong to.
+
+        Hashes the config, the tokenizer vocabulary, and the model
+        weights, so a cache saved before in-place fine-tuning (which
+        changes weights but neither config nor vocab) is rejected by a
+        strict :meth:`load` into the updated model.  Only computed on
+        save/load, where one pass over the parameters is cheap.
+        """
+        digest = hashlib.sha1()
+        digest.update(repr(sorted(self.encoder.config.__dict__.items())).encode())
+        digest.update(repr(sorted(self.encoder.tokenizer.vocab.items())).encode())
+        for name, value in sorted(self.encoder.state_dict().items()):
+            digest.update(name.encode("utf-8"))
+            digest.update(np.ascontiguousarray(value).tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Dimensionality of stored vectors."""
+        return self.encoder.config.dim
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, text: str) -> bool:
+        return self.fingerprint(text) in self._cache
+
+    def stats(self) -> Dict[str, float]:
+        """Cache counters: hits, misses, size, and hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "size": float(len(self._cache)),
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached vector (counters are kept)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def embed_batch(
+        self,
+        texts: Sequence[str],
+        normalize: bool = False,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Return a ``(len(texts), dim)`` matrix, encoding only cache misses.
+
+        A text already in the cache counts as a hit; each *distinct* new
+        text counts as one miss even if it appears several times in the
+        request.  Rows come back in request order.  With ``normalize``
+        the returned rows are L2-normalized copies; the cache always holds
+        raw vectors.
+        """
+        keys = [self.fingerprint(text) for text in texts]
+        resolved: Dict[str, np.ndarray] = {}
+        missing: "OrderedDict[str, str]" = OrderedDict()
+        for key, text in zip(keys, texts):
+            if key in resolved:
+                self.hits += 1
+            elif key in self._cache:
+                self.hits += 1
+                resolved[key] = self._lookup(key)
+            elif key not in missing:
+                missing[key] = text
+                self.misses += 1
+            else:
+                self.hits += 1
+        if missing:
+            encoded = self.encoder.embed_items(
+                list(missing.values()),
+                batch_size=chunk_size or self.batch_size,
+                normalize=False,
+            )
+            for row, key in enumerate(missing):
+                vector = np.asarray(encoded[row], dtype=np.float64)
+                resolved[key] = vector
+                self._insert(key, vector)
+        if not keys:
+            return np.zeros((0, self.dim))
+        matrix = np.vstack([resolved[key] for key in keys])
+        return _normalize_rows(matrix) if normalize else matrix
+
+    def _insert(self, key: str, vector: np.ndarray) -> None:
+        self._cache[key] = np.asarray(vector, dtype=np.float64)
+        self._cache.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+
+    def _lookup(self, key: str) -> np.ndarray:
+        vector = self._cache[key]
+        self._cache.move_to_end(key)  # LRU freshness
+        return vector
+
+    # ------------------------------------------------------------------
+    # Persistence (via core.persistence)
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Persist all cached vectors to an ``.npz`` vector-cache file."""
+        keys = list(self._cache)
+        vectors = (
+            np.vstack([self._cache[key] for key in keys])
+            if keys
+            else np.zeros((0, self.dim))
+        )
+        return save_vector_cache(
+            path,
+            keys,
+            vectors,
+            metadata={
+                "dim": self.dim,
+                "encoder_fingerprint": self.encoder_fingerprint(),
+            },
+        )
+
+    def load(self, path: PathLike, strict: bool = True) -> int:
+        """Merge a persisted vector cache into this store.
+
+        Returns the number of vectors loaded.  With ``strict`` (default)
+        the stored encoder fingerprint must match this store's encoder;
+        pass ``strict=False`` to skip that check (the dimension check
+        always applies).
+        """
+        keys, vectors, metadata = load_vector_cache(path)
+        if int(metadata.get("dim", -1)) != self.dim:
+            raise ValueError(
+                f"vector cache dim {metadata.get('dim')} != encoder dim {self.dim}"
+            )
+        if strict and metadata.get("encoder_fingerprint") != self.encoder_fingerprint():
+            raise ValueError(
+                "vector cache was built by a different encoder; "
+                "pass strict=False to load anyway"
+            )
+        for row, key in enumerate(keys):
+            self._insert(key, vectors[row])
+        return len(keys)

@@ -2,10 +2,26 @@
 
 The paper's blocking step indexes the learned vectors with a
 high-dimensional similarity search technique (its citation [27]); at
-reproduction scale exact search is feasible, but the LSH index is provided
-for parity and for the scalability discussion in Section II-C.  Signed
-random projections approximate angular (cosine) similarity: vectors whose
+reproduction scale exact search is feasible, but the LSH index makes
+candidate generation sub-linear for large corpora.  Signed random
+projections approximate angular (cosine) similarity: vectors whose
 signatures agree on many bits have high cosine with high probability.
+
+This index is the engine behind the serving layer's ``"lsh"`` ANN backend
+(:class:`repro.serve.backends.LSHBackend`, selected via
+``SudowoodoConfig.ann_backend``); the blocker consumes it through that
+backend protocol rather than directly.  Recall against exact search is
+tuned by two knobs: more ``num_tables`` raises recall (more chances for a
+neighbour to collide), more ``num_bits`` shrinks buckets (faster queries,
+lower recall).
+
+Usage::
+
+    index = LSHIndex(dim=32, num_tables=16, num_bits=8, seed=0)
+    index.build(corpus_vectors)              # (N, 32) unit-norm rows
+    indices, scores = index.query(q, k=10)   # one query vector
+    indices, scores = index.query_batch(Q, k=10)   # (M, 32) queries
+    index.recall_against_exact(Q, k=10)      # ANN quality diagnostic
 """
 
 from __future__ import annotations
@@ -65,35 +81,51 @@ class LSHIndex:
         return self
 
     # ------------------------------------------------------------------
+    def _rank_bucket_union(
+        self, vector: np.ndarray, signatures: Sequence[int], k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-rank the union of one query's buckets exactly by cosine."""
+        candidates: set = set()
+        for table_index in range(self.num_tables):
+            candidates.update(
+                self._tables[table_index].get(int(signatures[table_index]), ())
+            )
+        if not candidates:
+            # Degenerate bucket miss: fall back to exact search.
+            candidates = set(range(self._vectors.shape[0]))
+        candidate_list = np.fromiter(candidates, dtype=np.int64)
+        scores = self._vectors[candidate_list] @ vector
+        k = min(k, candidate_list.size)
+        top = np.argsort(-scores)[:k]
+        return candidate_list[top], scores[top]
+
     def query(self, vector: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate top-k (indices, cosine scores) for one query."""
         if self._vectors is None:
             raise RuntimeError("build the index before querying")
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
         signatures = self._signatures(vector)
-        candidates: set = set()
-        for table_index in range(self.num_tables):
-            key = int(signatures[table_index, 0])
-            candidates.update(self._tables[table_index].get(key, ()))
-        if not candidates:
-            # Degenerate bucket miss: fall back to exact search.
-            candidates = set(range(self._vectors.shape[0]))
-        candidate_list = np.fromiter(candidates, dtype=np.int64)
-        scores = self._vectors[candidate_list] @ vector[0]
-        k = min(k, candidate_list.size)
-        top = np.argsort(-scores)[:k]
-        return candidate_list[top], scores[top]
+        return self._rank_bucket_union(vector[0], signatures[:, 0], k)
 
     def query_batch(
         self, vectors: np.ndarray, k: int
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate top-k for each row; ragged results are padded with
-        -1 indices / -inf scores."""
+        -1 indices / -inf scores.
+
+        Signatures for the whole batch are hashed in one projection pass,
+        which is what makes this the serving layer's hot path.
+        """
+        if self._vectors is None:
+            raise RuntimeError("build the index before querying")
         vectors = np.asarray(vectors, dtype=np.float64)
+        signatures = self._signatures(vectors)  # one pass for all queries
         indices = np.full((vectors.shape[0], k), -1, dtype=np.int64)
         scores = np.full((vectors.shape[0], k), -np.inf)
         for row in range(vectors.shape[0]):
-            found, found_scores = self.query(vectors[row], k)
+            found, found_scores = self._rank_bucket_union(
+                vectors[row], signatures[:, row], k
+            )
             indices[row, : found.size] = found
             scores[row, : found.size] = found_scores
         return indices, scores

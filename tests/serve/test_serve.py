@@ -1,0 +1,330 @@
+"""Serving-layer tests: EmbeddingStore caching + persistence, ANN backend
+parity, MatchService facade, and single-encoding pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Blocker,
+    SudowoodoConfig,
+    SudowoodoEncoder,
+    SudowoodoPipeline,
+    build_tokenizer,
+)
+from repro.data.generators import load_em_benchmark
+from repro.serve import (
+    EmbeddingStore,
+    ExactBackend,
+    LSHBackend,
+    MatchService,
+    available_backends,
+    build_backend,
+    register_backend,
+)
+from repro.text import top_k_cosine
+from repro.utils import spawn_rng
+
+
+def tiny_config(**overrides) -> SudowoodoConfig:
+    defaults = dict(
+        dim=16,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=32,
+        max_seq_len=24,
+        pair_max_seq_len=40,
+        vocab_size=400,
+        pretrain_epochs=1,
+        pretrain_batch_size=8,
+        num_clusters=3,
+        corpus_cap=32,
+        mlm_warm_start_epochs=0,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SudowoodoConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_em_benchmark("AB", scale=0.02, max_table_size=24)
+
+
+@pytest.fixture(scope="module")
+def encoder(dataset):
+    config = tiny_config()
+    return SudowoodoEncoder(config, build_tokenizer(dataset.all_items(), config))
+
+
+# ----------------------------------------------------------------------
+class TestEmbeddingStore:
+    def test_miss_then_hit(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:6]
+        first = store.embed_batch(texts)
+        assert store.misses == len(set(texts))
+        assert store.hits == len(texts) - len(set(texts))
+        second = store.embed_batch(texts)
+        np.testing.assert_array_equal(first, second)
+        assert store.misses == len(set(texts))  # nothing re-encoded
+        assert store.stats()["hit_rate"] > 0.0
+
+    def test_duplicates_encoded_once(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        text = dataset.all_items()[0]
+        matrix = store.embed_batch([text, text, text])
+        assert len(store) == 1
+        assert store.misses == 1 and store.hits == 2
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+
+    def test_matches_direct_encoding(self, dataset, encoder):
+        store = EmbeddingStore(encoder, batch_size=4)
+        texts = dataset.all_items()[:8]
+        np.testing.assert_allclose(
+            store.embed_batch(texts),
+            encoder.embed_items(texts, normalize=False),
+            atol=1e-9,
+        )
+
+    def test_normalize_returns_unit_rows(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        matrix = store.embed_batch(dataset.all_items()[:5], normalize=True)
+        np.testing.assert_allclose(np.linalg.norm(matrix, axis=1), 1.0, atol=1e-9)
+
+    def test_capacity_lru_eviction(self, dataset, encoder):
+        store = EmbeddingStore(encoder, capacity=2)
+        texts = dataset.all_items()[:3]
+        store.embed_batch(texts)
+        assert len(store) == 2
+        assert texts[0] not in store  # oldest evicted
+        assert texts[2] in store
+
+    def test_persistence_roundtrip(self, dataset, encoder, tmp_path):
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:6]
+        original = store.embed_batch(texts)
+        store.save(tmp_path / "cache.npz")
+
+        fresh = EmbeddingStore(encoder)
+        loaded = fresh.load(tmp_path / "cache.npz")
+        assert loaded == len(set(texts))
+        reloaded = fresh.embed_batch(texts)
+        assert fresh.misses == 0  # every lookup served from the loaded cache
+        np.testing.assert_allclose(original, reloaded, atol=1e-12)
+
+    def test_load_rejects_other_encoder(self, dataset, encoder, tmp_path):
+        store = EmbeddingStore(encoder)
+        store.embed_batch(dataset.all_items()[:4])
+        path = store.save(tmp_path / "cache.npz")
+
+        other_config = tiny_config(seed=7)
+        other = SudowoodoEncoder(
+            other_config, build_tokenizer(dataset.all_items(), other_config)
+        )
+        with pytest.raises(ValueError):
+            EmbeddingStore(other).load(path)
+        # Same dimension: non-strict load is allowed.
+        assert EmbeddingStore(other).load(path, strict=False) == 4
+
+    def test_load_rejects_mutated_weights(self, dataset, tmp_path):
+        """In-place fine-tuning changes weights but not config/vocab; a
+        strict load must still reject the now-stale cache."""
+        config = tiny_config()
+        enc = SudowoodoEncoder(config, build_tokenizer(dataset.all_items(), config))
+        store = EmbeddingStore(enc)
+        store.embed_batch(dataset.all_items()[:4])
+        path = store.save(tmp_path / "cache.npz")
+
+        enc.projector.weight.data += 0.5  # simulate fine-tuning drift
+        with pytest.raises(ValueError):
+            EmbeddingStore(enc).load(path)
+
+    def test_load_rejects_dim_mismatch(self, dataset, encoder, tmp_path):
+        store = EmbeddingStore(encoder)
+        store.embed_batch(dataset.all_items()[:4])
+        path = store.save(tmp_path / "cache.npz")
+
+        small_config = tiny_config(dim=8, ffn_dim=16)
+        small = SudowoodoEncoder(
+            small_config, build_tokenizer(dataset.all_items(), small_config)
+        )
+        with pytest.raises(ValueError):
+            EmbeddingStore(small).load(path, strict=False)
+
+
+# ----------------------------------------------------------------------
+class TestBackends:
+    @pytest.fixture(scope="class")
+    def vectors(self):
+        rng = spawn_rng(0, "serve-backend-test")
+        matrix = rng.normal(size=(200, 16))
+        return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+    def test_exact_matches_top_k_cosine(self, vectors):
+        backend = ExactBackend().build(vectors)
+        indices, scores = backend.query(vectors[:20], k=5)
+        expected_indices, expected_scores = top_k_cosine(vectors[:20], vectors, k=5)
+        np.testing.assert_array_equal(indices, expected_indices)
+        np.testing.assert_allclose(scores, expected_scores)
+
+    def test_lsh_recall_parity(self, vectors):
+        backend = LSHBackend(num_tables=32, num_bits=4, seed=0).build(vectors)
+        approx, _ = backend.query(vectors, k=5)
+        exact, _ = ExactBackend().build(vectors).query(vectors, k=5)
+        hits = sum(
+            len(set(exact[row]) & set(i for i in approx[row] if i >= 0))
+            for row in range(vectors.shape[0])
+        )
+        recall = hits / exact.size
+        assert recall >= 0.95
+
+    def test_lsh_deterministic(self, vectors):
+        first, _ = LSHBackend(num_tables=8, num_bits=6, seed=3).build(vectors).query(
+            vectors[:10], k=4
+        )
+        second, _ = LSHBackend(num_tables=8, num_bits=6, seed=3).build(vectors).query(
+            vectors[:10], k=4
+        )
+        np.testing.assert_array_equal(first, second)
+
+    def test_lsh_pads_short_rows(self, vectors):
+        backend = LSHBackend(num_tables=4, num_bits=2, seed=0).build(vectors[:3])
+        indices, scores = backend.query(vectors[:2], k=5)
+        assert indices.shape == (2, 5)
+        assert (indices[:, 3:] == -1).all()
+        assert np.isneginf(scores[:, 3:]).all()
+
+    def test_query_before_build_raises(self, vectors):
+        with pytest.raises(RuntimeError):
+            ExactBackend().query(vectors[:2], k=3)
+        with pytest.raises(RuntimeError):
+            LSHBackend().query(vectors[:2], k=3)
+
+    def test_registry(self):
+        assert {"exact", "lsh"} <= set(available_backends())
+        config = SudowoodoConfig(ann_backend="lsh", lsh_num_tables=5, lsh_num_bits=3)
+        backend = build_backend(config)
+        assert isinstance(backend, LSHBackend)
+        assert backend.num_tables == 5 and backend.num_bits == 3
+        with pytest.raises(ValueError):
+            build_backend(config, name="no-such-index")
+
+    def test_register_custom_backend(self):
+        register_backend("custom-exact", lambda config: ExactBackend())
+        try:
+            backend = build_backend(name="custom-exact")
+            assert isinstance(backend, ExactBackend)
+        finally:
+            from repro.serve import backends as backends_module
+
+            backends_module._BACKENDS.pop("custom-exact", None)
+
+
+# ----------------------------------------------------------------------
+class TestBlockerAndService:
+    def test_blocker_shares_store(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        first = Blocker(encoder, dataset, store=store)
+        misses_after_first = store.misses
+        second = Blocker(encoder, dataset, store=store)
+        assert store.misses == misses_after_first  # corpus encoded once
+        np.testing.assert_allclose(first.vectors_a, second.vectors_a)
+
+    def test_exact_vs_lsh_blocking_parity(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        exact = Blocker(encoder, dataset, store=store).candidates(k=3)
+        lsh = Blocker(
+            encoder,
+            dataset,
+            store=store,
+            backend=LSHBackend(num_tables=16, num_bits=2, seed=0),
+        ).candidates(k=3)
+        overlap = len(set(lsh.pairs) & set(exact.pairs)) / len(exact.pairs)
+        assert overlap >= 0.95
+
+    def test_match_service_block_warm_cache(self, dataset, encoder):
+        service = MatchService(encoder)
+        texts_a = [dataset.serialize_a(i) for i in range(len(dataset.table_a))]
+        texts_b = [dataset.serialize_b(j) for j in range(len(dataset.table_b))]
+        candidate_set = service.block(texts_a, texts_b, k=3)
+        assert candidate_set.num_a == len(texts_a)
+        assert candidate_set.num_b == len(texts_b)
+        assert all(b >= 0 for _, b in candidate_set.pairs)
+        misses = service.store.misses
+        service.block(texts_a, texts_b, k=5)  # second request: pure cache hits
+        assert service.store.misses == misses
+
+    def test_match_service_self_block(self, dataset, encoder):
+        service = MatchService(encoder)
+        texts = [dataset.serialize_a(i) for i in range(8)]
+        candidate_set = service.block(texts, k=2)
+        assert candidate_set.num_a == candidate_set.num_b == len(texts)
+        assert all(a != b for a, b in candidate_set.pairs)  # no trivial matches
+        per_row = {}
+        for a, _ in candidate_set.pairs:
+            per_row[a] = per_row.get(a, 0) + 1
+        assert max(per_row.values()) <= 2  # budget still k after self-exclusion
+
+    def test_match_pairs_requires_matcher(self, dataset, encoder):
+        service = MatchService(encoder)
+        with pytest.raises(RuntimeError):
+            service.match_pairs([("a", "b")])
+
+    def test_deterministic_across_rebuilds(self, dataset):
+        """Same seed => same tokenizer, weights, embeddings, candidates."""
+        runs = []
+        for _ in range(2):
+            config = tiny_config()
+            enc = SudowoodoEncoder(config, build_tokenizer(dataset.all_items(), config))
+            store = EmbeddingStore(enc)
+            blocker = Blocker(
+                enc,
+                dataset,
+                store=store,
+                backend=LSHBackend(num_tables=8, num_bits=4, seed=config.seed),
+            )
+            runs.append(blocker.candidates(k=3).pairs)
+        assert runs[0] == runs[1]
+
+
+# ----------------------------------------------------------------------
+class TestPipelineIntegration:
+    def test_single_encoding_per_run(self, dataset):
+        pipeline = SudowoodoPipeline(tiny_config())
+        pipeline.pretrain_on(dataset)
+        pipeline.block(k=3)
+        corpus_size = len(pipeline.store)
+        misses = pipeline.store.misses
+        assert misses == corpus_size  # every unique record encoded exactly once
+
+        pipeline.block(k=5)
+        pipeline.pseudo_labels(8)
+        service = pipeline.match_service()
+        service.embed_batch(dataset.all_items())
+        assert pipeline.store.misses == misses  # warm cache across tasks
+
+    def test_store_cleared_after_finetune(self, dataset):
+        """Fine-tuning mutates the encoder in place, so the pipeline must
+        drop cached (now stale) vectors before serving continues."""
+        pipeline = SudowoodoPipeline(tiny_config(finetune_epochs=1, multiplier=2))
+        pipeline.pretrain_on(dataset)
+        pipeline.block(k=3)
+        assert len(pipeline.store) > 0
+        pipeline.train_matcher(label_budget=16)
+        assert len(pipeline.store) == 0  # stale pre-finetune vectors dropped
+        service = pipeline.match_service()
+        # Regression: an empty store is falsy (defines __len__); the service
+        # must still share it rather than silently creating a fresh one.
+        assert service.store is pipeline.store
+        probabilities = service.match_pairs(
+            [(dataset.serialize_a(0), dataset.serialize_b(0))]
+        )
+        assert probabilities.shape == (1, 2)
+
+    def test_pipeline_lsh_backend(self, dataset):
+        config = tiny_config(ann_backend="lsh", lsh_num_tables=16, lsh_num_bits=2)
+        pipeline = SudowoodoPipeline(config)
+        pipeline.pretrain_on(dataset)
+        candidate_set = pipeline.block(k=3)
+        assert len(candidate_set) > 0
+        assert isinstance(pipeline.blocker.backend, LSHBackend)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Docs lint: verify every relative markdown link in README.md and docs/
+resolves to an existing file or directory.
+
+Exit code 0 when all links resolve, 1 otherwise (broken links listed on
+stderr).  External links (http/https/mailto) are not fetched.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path):
+    """README.md plus every markdown file under docs/."""
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(markdown: Path, root: Path) -> list:
+    """Return (file, link) tuples for links that do not resolve."""
+    broken = []
+    for match in LINK_PATTERN.finditer(markdown.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        if target.startswith("<") and target.endswith(">"):
+            continue  # placeholder like <this-repo>
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (markdown.parent / path).resolve()
+        if not resolved.exists():
+            broken.append((markdown.relative_to(root), target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for markdown in iter_markdown_files(root):
+        checked += 1
+        broken.extend(check_file(markdown, root))
+    if broken:
+        for source, target in broken:
+            print(f"BROKEN LINK in {source}: {target}", file=sys.stderr)
+        return 1
+    print(f"docs lint ok: {checked} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
