@@ -8,13 +8,22 @@ multi-purpose premise) without re-running contrastive pre-training.
 A *vector cache* is the companion artifact for the serving layer: the
 fingerprint-keyed embedding matrix an
 :class:`~repro.serve.store.EmbeddingStore` accumulated, persisted so a
-re-started service skips re-encoding a corpus entirely.
+re-started service skips re-encoding a corpus entirely.  Caches may also
+carry the store's stable record-id assignment (``ids``), which is what
+lets a restarted service keep serving the ANN index ids it handed out
+before the restart.
+
+Every loader in this module raises :class:`ValueError` with the file
+path on corrupt, truncated, or wrong-format input — never an opaque
+``zipfile``/``pickle`` traceback, and never silent garbage.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -36,6 +45,35 @@ def _resolve_npz(path: PathLike) -> Path:
     return path
 
 
+@contextmanager
+def _open_npz(path: Path):
+    """``np.load`` with corrupt/truncated files surfaced as ValueError.
+
+    Owns the file handle (numpy leaves it dangling when the zip header
+    turns out to be garbage) so even failed opens never leak a
+    ResourceWarning.
+    """
+    with open(path, "rb") as handle:
+        try:
+            archive = np.load(handle)
+        except (OSError, EOFError, ValueError, zipfile.BadZipFile) as error:
+            raise ValueError(
+                f"corrupt or unreadable archive {path}: {error}"
+            ) from error
+        try:
+            yield archive
+        finally:
+            archive.close()
+
+
+def _read_npz_metadata(archive, path: Path) -> Dict[str, Any]:
+    """Decode the ``__metadata__`` JSON blob, surfacing corruption clearly."""
+    try:
+        return json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"corrupt metadata in {path}: {error}") from error
+
+
 def save_encoder(encoder: SudowoodoEncoder, path: PathLike) -> Path:
     """Write weights + tokenizer + config to a single ``.npz`` checkpoint."""
     metadata = {
@@ -51,8 +89,8 @@ def load_encoder(path: PathLike) -> SudowoodoEncoder:
     # Read metadata first to reconstruct the module skeleton, then load
     # weights into it.
     path = _resolve_npz(path)
-    with np.load(path) as archive:
-        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    with _open_npz(path) as archive:
+        metadata = _read_npz_metadata(archive, path)
     if metadata.get("format_version") != 1:
         raise ValueError(f"unsupported checkpoint format in {path}")
     config = SudowoodoConfig(**metadata["config"])
@@ -74,12 +112,15 @@ def save_vector_cache(
     fingerprints: Sequence[str],
     vectors: np.ndarray,
     metadata: Optional[Dict[str, Any]] = None,
+    ids: Optional[Sequence[int]] = None,
 ) -> Path:
     """Write a fingerprint-keyed embedding matrix to one ``.npz`` file.
 
     ``fingerprints[i]`` keys ``vectors[i]``; ``metadata`` (JSON-serializable)
     typically records the embedding dimension and an encoder fingerprint so
-    :func:`load_vector_cache` consumers can reject stale caches.
+    :func:`load_vector_cache` consumers can reject stale caches.  ``ids``
+    optionally records the stable record id of each row (the serving
+    layer's incremental-index state); omitted for plain caches.
     """
     fingerprints = list(fingerprints)
     vectors = np.asarray(vectors, dtype=np.float64)
@@ -97,6 +138,13 @@ def save_vector_cache(
             dtype=np.uint8,
         ),
     }
+    if ids is not None:
+        id_array = np.asarray(list(ids), dtype=np.int64)
+        if id_array.shape != (len(fingerprints),):
+            raise ValueError(
+                f"expected {len(fingerprints)} ids, got shape {id_array.shape}"
+            )
+        payload["ids"] = id_array
     np.savez(path, **payload)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
@@ -105,12 +153,30 @@ def load_vector_cache(
     path: PathLike,
 ) -> Tuple[List[str], np.ndarray, Dict[str, Any]]:
     """Read ``(fingerprints, vectors, metadata)`` written by
-    :func:`save_vector_cache`."""
+    :func:`save_vector_cache`.
+
+    When the file carries stable record ids they are surfaced as
+    ``metadata["ids"]`` (a list aligned with ``fingerprints``); caches
+    written without ids leave the key absent.  Corrupt or truncated
+    files raise :class:`ValueError` naming the path.
+    """
     path = _resolve_npz(path)
-    with np.load(path) as archive:
-        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    with _open_npz(path) as archive:
+        metadata = _read_npz_metadata(archive, path)
         if metadata.get("format_version") != 1:
             raise ValueError(f"unsupported vector cache format in {path}")
-        fingerprints = [str(key) for key in archive["fingerprints"]]
-        vectors = np.asarray(archive["vectors"], dtype=np.float64)
+        try:
+            fingerprints = [str(key) for key in archive["fingerprints"]]
+            vectors = np.asarray(archive["vectors"], dtype=np.float64)
+            if "ids" in archive.files:
+                metadata["ids"] = [int(i) for i in archive["ids"]]
+        except (KeyError, ValueError, zipfile.BadZipFile, EOFError) as error:
+            raise ValueError(
+                f"corrupt or truncated vector cache {path}: {error}"
+            ) from error
+    if vectors.ndim != 2 or vectors.shape[0] != len(fingerprints):
+        raise ValueError(
+            f"corrupt vector cache {path}: {len(fingerprints)} fingerprints "
+            f"but vector shape {vectors.shape}"
+        )
     return fingerprints, vectors, metadata

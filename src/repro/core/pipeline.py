@@ -129,6 +129,26 @@ class SudowoodoPipeline:
         """Candidate pairs at ``k`` (default: ``config.blocking_k``)."""
         return self.blocker.candidates(k or self.config.blocking_k)
 
+    # ------------------------------------------------------------------
+    # Streaming updates (incremental blocking)
+    # ------------------------------------------------------------------
+    def upsert_records(self, texts: Sequence[str]) -> np.ndarray:
+        """Stream new table-B records into blocking; returns their ids.
+
+        Only the new records are encoded and the ANN backend is patched
+        in place — the standing corpus is neither re-encoded nor
+        re-indexed.  Pseudo labels derived from the old candidate set
+        are invalidated (the next request regenerates them).
+        """
+        ids = self.blocker.upsert_b(texts)
+        self._pseudo = None
+        return ids
+
+    def delete_records(self, ids: Sequence[int]) -> None:
+        """Retire table-B records from blocking by id (no rebuild)."""
+        self.blocker.delete_b(ids)
+        self._pseudo = None
+
     def match_service(self) -> MatchService:
         """Request-level serving facade sharing this pipeline's store.
 

@@ -1,8 +1,14 @@
-"""Checkpointing: save/load module state dicts as ``.npz`` archives."""
+"""Checkpointing: save/load module state dicts as ``.npz`` archives.
+
+Loading is defensive: a corrupt, truncated, or non-checkpoint file
+raises :class:`ValueError` naming the path — never an opaque ``zipfile``
+traceback and never a silently garbage state dict.
+"""
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -33,16 +39,40 @@ def save_checkpoint(
 
 
 def load_checkpoint(module: Module, path: PathLike) -> Dict[str, Any]:
-    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata.
+
+    Raises ``ValueError`` on corrupt/truncated archives or files that are
+    not checkpoints, and ``KeyError`` (from ``load_state_dict``) when the
+    parameter set does not match ``module``.
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        state = {
-            key[len("param::") :]: archive[key]
-            for key in archive.files
-            if key.startswith("param::")
-        }
-        metadata_raw = archive["__metadata__"].tobytes().decode("utf-8")
+    try:
+        # Own the handle: numpy leaves it dangling when the archive turns
+        # out to be garbage, which would leak a ResourceWarning.
+        with open(path, "rb") as handle:
+            with np.load(handle) as archive:
+                state = {
+                    key[len("param::") :]: archive[key]
+                    for key in archive.files
+                    if key.startswith("param::")
+                }
+                metadata_raw = archive["__metadata__"].tobytes().decode("utf-8")
+        metadata = json.loads(metadata_raw)
+    except FileNotFoundError:
+        raise
+    except (
+        OSError,
+        EOFError,
+        ValueError,
+        KeyError,
+        zipfile.BadZipFile,
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+    ) as error:
+        raise ValueError(
+            f"corrupt or unreadable checkpoint {path}: {error}"
+        ) from error
     module.load_state_dict(state)
-    return json.loads(metadata_raw)
+    return metadata

@@ -7,22 +7,31 @@ discovery.  This package makes that reuse concrete at serving time:
 * :class:`EmbeddingStore` — batch-encodes records through
   :class:`~repro.core.encoder.SudowoodoEncoder` in configurable chunks and
   caches the vectors keyed by record fingerprint, so a corpus is encoded
-  once and shared by every downstream task.
-* :class:`ANNBackend` / :class:`ExactBackend` / :class:`LSHBackend` — the
-  pluggable similarity-search protocol behind blocking, selected via
-  ``SudowoodoConfig.ann_backend``.
+  once and shared by every downstream task.  Hands out stable record ids
+  (``upsert_batch`` / ``evict``) so streaming consumers can delta-encode.
+* :class:`ANNBackend` / :class:`ExactBackend` / :class:`LSHBackend` /
+  :class:`HNSWBackend` — the pluggable similarity-search protocol behind
+  blocking, selected via ``SudowoodoConfig.ann_backend``.  All built-ins
+  are mutable (``add`` / ``remove`` / ``rebuild``), so indexes are
+  patched in place instead of rebuilt under churn.
+* :class:`HNSWIndex` — the pure-numpy hierarchical small-world graph
+  powering the ``"hnsw"`` backend (sublinear per-query latency).
 * :class:`MatchService` — a request-level facade exposing
-  ``embed_batch`` / ``block`` / ``match_pairs`` with warm-cache reuse.
+  ``embed_batch`` / ``block`` / ``match_pairs`` plus the streaming
+  ``index_records`` / ``upsert_records`` / ``delete_records`` /
+  ``search`` APIs over a shared warm cache.
 """
 
 from .backends import (
     ANNBackend,
     ExactBackend,
+    HNSWBackend,
     LSHBackend,
     available_backends,
     build_backend,
     register_backend,
 )
+from .hnsw import HNSWIndex
 from .service import MatchService
 from .store import EmbeddingStore
 
@@ -30,6 +39,8 @@ __all__ = [
     "ANNBackend",
     "EmbeddingStore",
     "ExactBackend",
+    "HNSWBackend",
+    "HNSWIndex",
     "LSHBackend",
     "MatchService",
     "available_backends",

@@ -10,47 +10,95 @@ hard-coded search routine:
 * :class:`LSHBackend` — random-hyperplane LSH via
   :class:`~repro.text.lsh.LSHIndex`, sub-linear candidate generation for
   large corpora.
+* :class:`HNSWBackend` — graph-based search via
+  :class:`~repro.serve.hnsw.HNSWIndex`, sublinear per-query latency on
+  the 10k+ corpora the benchmarks generate.
 
 Backends are selected by name through ``SudowoodoConfig.ann_backend`` and
 the :func:`build_backend` registry; third-party indexes plug in with
 :func:`register_backend`.
 
+All built-in backends are **mutable**: records carry stable integer ids
+(``build`` assigns ``0..N-1``; callers can choose their own through
+``add``), and :meth:`ANNBackend.add` / :meth:`ANNBackend.remove` patch
+the index in place instead of rebuilding it — the contract streaming
+upserts rely on.  ``query`` always returns stable ids, never internal
+positions.
+
 >>> backend = build_backend(config)          # config.ann_backend == "lsh"
->>> backend.build(corpus_vectors)
+>>> backend.build(corpus_vectors)            # records get ids 0..N-1
 >>> indices, scores = backend.query(query_vectors, k=10)
+>>> backend.add(np.array([n]), new_vectors)  # incremental insert
+>>> backend.remove([3, 7])                   # incremental delete
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.config import SudowoodoConfig
 from ..text.lsh import LSHIndex
 from ..text.similarity import top_k_cosine
+from ..utils import grow_array
+from .hnsw import HNSWIndex
 
 
 class ANNBackend(abc.ABC):
     """Protocol for candidate-generating similarity indexes.
 
-    ``build`` indexes a corpus of (ideally unit-norm) vectors; ``query``
-    returns per-row top-k ``(indices, scores)`` arrays of shape
-    ``(num_queries, k)``.  Rows with fewer than ``k`` results are padded
-    with ``-1`` indices and ``-inf`` scores — consumers must skip negative
-    indices.
+    ``build`` indexes a corpus of (ideally unit-norm) vectors, assigning
+    stable ids ``0..N-1``; ``query`` returns per-row top-k
+    ``(ids, scores)`` arrays of shape ``(num_queries, k)``.  Rows with
+    fewer than ``k`` results are padded with ``-1`` ids and ``-inf``
+    scores — consumers must skip negative ids.
+
+    Mutable backends additionally implement :meth:`add`,
+    :meth:`remove`, and :meth:`rebuild` (all built-ins do; third-party
+    backends may leave ``supports_updates`` False and serve a static
+    corpus).  Ids chosen via ``add`` are arbitrary non-negative ints and
+    survive any interleaving of updates; ``rebuild`` compacts internal
+    storage without changing them.
     """
 
     name: str = "abstract"
+    #: Whether add/remove/rebuild are implemented.  Streaming consumers
+    #: (``Blocker.upsert_b``, ``MatchService.upsert_records``) check this
+    #: before mutating.
+    supports_updates: bool = False
 
     @abc.abstractmethod
     def build(self, vectors: np.ndarray) -> "ANNBackend":
-        """Index a ``(N, dim)`` corpus; returns ``self`` for chaining."""
+        """Index a ``(N, dim)`` corpus with ids ``0..N-1``; returns ``self``."""
 
     @abc.abstractmethod
     def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Top-k ``(indices, scores)`` for each query row."""
+        """Top-k ``(ids, scores)`` for each query row."""
+
+    # -- incremental maintenance (optional capability) ------------------
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> "ANNBackend":
+        """Upsert ``vectors`` under stable ``ids`` (replacing existing ids)."""
+        raise NotImplementedError(
+            f"{self.name!r} backend does not support incremental add()"
+        )
+
+    def remove(self, ids: Sequence[int]) -> "ANNBackend":
+        """Delete the records with the given stable ids."""
+        raise NotImplementedError(
+            f"{self.name!r} backend does not support incremental remove()"
+        )
+
+    def rebuild(self) -> "ANNBackend":
+        """Compact internal storage (drop tombstones); ids are preserved."""
+        raise NotImplementedError(
+            f"{self.name!r} backend does not support rebuild()"
+        )
+
+    def __len__(self) -> int:
+        """Number of live records in the index."""
+        return 0
 
     def _require_built(self, vectors: Optional[np.ndarray]) -> np.ndarray:
         if vectors is None:
@@ -58,20 +106,116 @@ class ANNBackend(abc.ABC):
         return vectors
 
 
+def _check_ids_vectors(ids: Sequence[int], vectors: np.ndarray) -> np.ndarray:
+    """Validate an add() request; returns the ids as an int64 array."""
+    id_array = np.asarray(list(ids), dtype=np.int64)
+    if id_array.size != vectors.shape[0]:
+        raise ValueError(
+            f"got {id_array.size} ids for {vectors.shape[0]} vectors"
+        )
+    if id_array.size and (id_array < 0).any():
+        raise ValueError("record ids must be non-negative")
+    if np.unique(id_array).size != id_array.size:
+        raise ValueError("record ids must be unique within one add() call")
+    return id_array
+
+
+def _check_remove_ids(ids: Sequence[int]) -> np.ndarray:
+    """Validate a remove() request *before* any mutation: duplicates would
+    otherwise corrupt index state halfway through the patch."""
+    id_array = np.asarray(list(ids), dtype=np.int64)
+    if np.unique(id_array).size != id_array.size:
+        raise ValueError("record ids must be unique within one remove() call")
+    return id_array
+
+
 class ExactBackend(ANNBackend):
-    """Brute-force cosine top-k — exact results, O(N) per query."""
+    """Brute-force cosine top-k — exact results, O(N) per query.
+
+    Mutations are trivial here: ``add`` appends (or overwrites) rows in
+    a capacity-doubling buffer (amortized O(1) per insert, no full-copy
+    per call), ``remove`` drops them; no index structure exists to patch.
+    """
 
     name = "exact"
+    supports_updates = True
 
     def __init__(self) -> None:
-        self._vectors: Optional[np.ndarray] = None
+        self._vectors: Optional[np.ndarray] = None  # capacity buffer
+        self._size = 0
+        self._ids: np.ndarray = np.empty(0, dtype=np.int64)  # same capacity
+        self._id_to_row: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _view(self) -> np.ndarray:
+        """The live (size-bounded) slice of the capacity buffer."""
+        return self._require_built(self._vectors)[: self._size]
+
+    def _ensure_capacity(self, needed: int) -> None:
+        self._vectors = grow_array(self._vectors, self._size, needed)
+        self._ids = grow_array(self._ids, self._size, needed)
 
     def build(self, vectors: np.ndarray) -> "ExactBackend":
-        self._vectors = np.asarray(vectors, dtype=np.float64)
+        # Copy: add() may later overwrite rows in place, and the caller's
+        # array must not be mutated through the old aliasing behaviour.
+        self._vectors = np.array(vectors, dtype=np.float64)
+        self._size = self._vectors.shape[0]
+        self._ids = np.arange(self._size, dtype=np.int64)
+        self._id_to_row = {int(i): int(i) for i in range(self._size)}
+        return self
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> "ExactBackend":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if self._vectors is None:
+            if vectors.ndim != 2:
+                raise ValueError("expected (N, dim) vectors")
+            self.build(np.zeros((0, vectors.shape[1])))
+        id_array = _check_ids_vectors(ids, vectors)
+        fresh = [
+            offset
+            for offset, record_id in enumerate(id_array.tolist())
+            if record_id not in self._id_to_row
+        ]
+        self._ensure_capacity(self._size + len(fresh))
+        for offset, record_id in enumerate(id_array.tolist()):
+            row = self._id_to_row.get(record_id)
+            if row is not None:
+                self._vectors[row] = vectors[offset]
+            else:
+                self._vectors[self._size] = vectors[offset]
+                self._ids[self._size] = record_id
+                self._id_to_row[record_id] = self._size
+                self._size += 1
+        return self
+
+    def remove(self, ids: Sequence[int]) -> "ExactBackend":
+        vectors = self._view()
+        id_array = _check_remove_ids(ids)
+        missing = [int(i) for i in id_array if int(i) not in self._id_to_row]
+        if missing:
+            raise KeyError(f"unknown record ids: {missing}")
+        rows = np.asarray(
+            [self._id_to_row[int(i)] for i in id_array], dtype=np.int64
+        )
+        keep = np.ones(self._size, dtype=bool)
+        keep[rows] = False
+        self._vectors = vectors[keep]
+        self._ids = self._ids[: self._size][keep]
+        self._size = self._vectors.shape[0]
+        self._id_to_row = {
+            int(record_id): row
+            for row, record_id in enumerate(self._ids.tolist())
+        }
+        return self
+
+    def rebuild(self) -> "ExactBackend":
+        # Rows are always dense; nothing to compact.
         return self
 
     def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        vectors = self._require_built(self._vectors)
+        vectors = self._view()
         queries = np.asarray(queries, dtype=np.float64)
         if vectors.shape[0] == 0:
             return (
@@ -79,6 +223,7 @@ class ExactBackend(ANNBackend):
                 np.full((queries.shape[0], k), -np.inf),
             )
         indices, scores = top_k_cosine(queries, vectors, k=min(k, vectors.shape[0]))
+        indices = self._ids[: self._size][indices]
         if indices.shape[1] < k:
             # Honour the protocol shape: pad rows out to k like the
             # approximate backends do, so "exact" and "lsh" stay
@@ -89,36 +234,197 @@ class ExactBackend(ANNBackend):
         return indices, scores
 
 
-class LSHBackend(ANNBackend):
+class _SlotIdMap:
+    """Stable-id bookkeeping shared by the slot-based indexes (LSH, HNSW).
+
+    The wrapped index hands out internal *slots*; this map tracks
+    ``slot -> id`` and ``id -> slot`` so backends can expose stable ids
+    across adds, tombstoned removals, and compactions.
+    """
+
+    def __init__(self) -> None:
+        self.slot_ids = np.empty(0, dtype=np.int64)
+        self.id_to_slot: Dict[int, int] = {}
+
+    def assign(self, slots: np.ndarray, ids: np.ndarray) -> None:
+        if slots.size:
+            needed = int(slots.max()) + 1
+            if needed > self.slot_ids.size:
+                grown = np.full(needed, -1, dtype=np.int64)
+                grown[: self.slot_ids.size] = self.slot_ids
+                self.slot_ids = grown
+            self.slot_ids[slots] = ids
+            for slot, record_id in zip(slots.tolist(), ids.tolist()):
+                self.id_to_slot[record_id] = slot
+
+    def slots_for(self, ids: Sequence[int]) -> np.ndarray:
+        id_list = [int(i) for i in ids]
+        missing = [i for i in id_list if i not in self.id_to_slot]
+        if missing:
+            raise KeyError(f"unknown record ids: {missing}")
+        return np.asarray([self.id_to_slot[i] for i in id_list], dtype=np.int64)
+
+    def drop(self, ids: Sequence[int]) -> None:
+        for record_id in ids:
+            slot = self.id_to_slot.pop(int(record_id))
+            self.slot_ids[slot] = -1
+
+    def remap_after_compact(self, survivors: np.ndarray) -> None:
+        """``survivors[new_slot] == old_slot`` (from ``compact()``)."""
+        self.slot_ids = self.slot_ids[survivors]
+        self.id_to_slot = {
+            int(record_id): slot
+            for slot, record_id in enumerate(self.slot_ids.tolist())
+            if record_id >= 0
+        }
+
+    def translate(self, slots: np.ndarray) -> np.ndarray:
+        """Map a (possibly -1 padded) slot matrix to stable ids."""
+        ids = np.full_like(slots, -1)
+        valid = slots >= 0
+        ids[valid] = self.slot_ids[slots[valid]]
+        return ids
+
+
+class _SlotIndexBackend(ANNBackend):
+    """Shared machinery for backends over slot-based mutable indexes.
+
+    LSH and HNSW indexes both speak the same internal dialect — ``build``
+    / ``add(vectors) -> slots`` / ``remove(slots)`` / ``compact`` /
+    ``query_batch`` over positional *slots* with tombstones — so the
+    stable-id bookkeeping (including the tombstone-then-insert upsert
+    dance) lives here exactly once.  Subclasses supply :meth:`_make_index`.
+    """
+
+    supports_updates = True
+
+    def __init__(self) -> None:
+        self._index = None
+        self._ids = _SlotIdMap()
+
+    def _make_index(self, dim: int):
+        raise NotImplementedError
+
+    def _require_index(self, operation: str):
+        if self._index is None:
+            raise RuntimeError(
+                f"{self.name} backend: call build() before {operation}()"
+            )
+        return self._index
+
+    def __len__(self) -> int:
+        return 0 if self._index is None else self._index.num_alive
+
+    def build(self, vectors: np.ndarray) -> "_SlotIndexBackend":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("expected (N, dim) vectors")
+        self._index = self._make_index(vectors.shape[1]).build(vectors)
+        self._ids = _SlotIdMap()
+        self._ids.assign(
+            np.arange(vectors.shape[0], dtype=np.int64),
+            np.arange(vectors.shape[0], dtype=np.int64),
+        )
+        return self
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> "_SlotIndexBackend":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if self._index is None:
+            if vectors.ndim != 2:
+                raise ValueError("expected (N, dim) vectors")
+            self.build(np.zeros((0, vectors.shape[1])))
+        id_array = _check_ids_vectors(ids, vectors)
+        # Upsert semantics: an id that is already indexed gets its old
+        # slot tombstoned before the new vector lands under a new slot.
+        existing = [i for i in id_array.tolist() if i in self._ids.id_to_slot]
+        if existing:
+            self._index.remove(self._ids.slots_for(existing))
+            self._ids.drop(existing)
+        slots = self._index.add(vectors)
+        self._ids.assign(slots, id_array)
+        return self
+
+    def remove(self, ids: Sequence[int]) -> "_SlotIndexBackend":
+        index = self._require_index("remove")
+        id_array = _check_remove_ids(ids)
+        slots = self._ids.slots_for(id_array)
+        index.remove(slots)
+        self._ids.drop(id_array.tolist())
+        return self
+
+    def rebuild(self) -> "_SlotIndexBackend":
+        survivors = self._require_index("rebuild").compact()
+        self._ids.remap_after_compact(survivors)
+        return self
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        index = self._require_index("query")
+        slots, scores = index.query_batch(np.asarray(queries, dtype=np.float64), k)
+        return self._ids.translate(slots), scores
+
+
+class LSHBackend(_SlotIndexBackend):
     """Random-hyperplane LSH with exact re-ranking of bucket candidates.
 
     Approximate: recall against the exact top-k grows with ``num_tables``
     and shrinks with ``num_bits`` (bigger buckets = more candidates =
     higher recall, slower queries).  Deterministic for a fixed ``seed``.
+
+    Mutations are bucket-level patches: ``add`` hashes only the new
+    vectors, ``remove`` edits only the ~``num_tables`` buckets each
+    removed vector occupies — the rest of the corpus is never rehashed.
     """
 
     name = "lsh"
 
     def __init__(self, num_tables: int = 16, num_bits: int = 8, seed: int = 0) -> None:
+        super().__init__()
         self.num_tables = num_tables
         self.num_bits = num_bits
         self.seed = seed
-        self._index: Optional[LSHIndex] = None
 
-    def build(self, vectors: np.ndarray) -> "LSHBackend":
-        vectors = np.asarray(vectors, dtype=np.float64)
-        self._index = LSHIndex(
-            dim=vectors.shape[1],
+    def _make_index(self, dim: int) -> LSHIndex:
+        return LSHIndex(
+            dim=dim,
             num_tables=self.num_tables,
             num_bits=self.num_bits,
             seed=self.seed,
-        ).build(vectors)
-        return self
+        )
 
-    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        if self._index is None:
-            raise RuntimeError("lsh backend: call build() before query()")
-        return self._index.query_batch(np.asarray(queries, dtype=np.float64), k)
+
+class HNSWBackend(_SlotIndexBackend):
+    """Graph-based search over a :class:`~repro.serve.hnsw.HNSWIndex`.
+
+    Sublinear per-query latency: a beam search walks ``O(log N)`` graph
+    hops instead of scanning the corpus.  ``add`` inserts new nodes
+    without touching unrelated ones; ``remove`` tombstones (removed
+    nodes keep routing but are never returned); ``rebuild`` compacts
+    once churn accumulates.  Deterministic for a fixed ``seed``.
+    """
+
+    name = "hnsw"
+
+    def __init__(
+        self,
+        m: int = 16,
+        ef_construction: int = 120,
+        ef_search: int = 12,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+
+    def _make_index(self, dim: int) -> HNSWIndex:
+        return HNSWIndex(
+            dim=dim,
+            m=self.m,
+            ef_construction=self.ef_construction,
+            ef_search=self.ef_search,
+            seed=self.seed,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +437,12 @@ _BACKENDS: Dict[str, BackendFactory] = {
     "lsh": lambda config: LSHBackend(
         num_tables=config.lsh_num_tables,
         num_bits=config.lsh_num_bits,
+        seed=config.seed,
+    ),
+    "hnsw": lambda config: HNSWBackend(
+        m=config.hnsw_m,
+        ef_construction=config.hnsw_ef_construction,
+        ef_search=config.hnsw_ef_search,
         seed=config.seed,
     ),
 }

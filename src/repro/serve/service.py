@@ -6,15 +6,28 @@ get embeddings, blocking candidates, or match probabilities back, while
 the underlying :class:`EmbeddingStore` guarantees each distinct text is
 encoded exactly once per process.
 
+Two candidate-generation styles coexist:
+
+* :meth:`block` — stateless, corpus-at-a-time (build, query, discard);
+  the batch-pipeline path.
+* :meth:`index_records` + :meth:`upsert_records` / :meth:`delete_records`
+  / :meth:`search` — a *live* incremental index for streaming traffic:
+  upserts encode only unseen records and patch the ANN structure in
+  place, deletes never require a re-encode, and results carry the
+  store's stable record ids.
+
 >>> service = MatchService(encoder, config)
 >>> vectors = service.embed_batch(corpus)                 # warm the cache
 >>> candidates = service.block(texts_a, texts_b, k=10)    # reuses vectors
+>>> ids = service.index_records(corpus)                   # go streaming
+>>> service.upsert_records(new_records)                   # delta-encode
+>>> neighbor_ids, scores = service.search(queries, k=10)
 >>> probabilities = service.match_pairs(pairs)            # trained matcher
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +83,10 @@ class MatchService:
         self.store = store
         self._backend = backend
         self.matcher = matcher
+        # Streaming state: a live mutable index over store record ids.
+        self._live_backend: Optional[ANNBackend] = None
+        self._live_texts: Dict[int, str] = {}
+        self._index_mean: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def embed_batch(
@@ -120,6 +137,123 @@ class MatchService:
             num_b=vectors_b.shape[0],
             k=k,
         )
+
+    # ------------------------------------------------------------------
+    # Streaming index: upsert / delete / search over stable record ids
+    # ------------------------------------------------------------------
+    @property
+    def index_size(self) -> int:
+        """Number of live records in the streaming index (0 when absent)."""
+        return 0 if self._live_backend is None else len(self._live_backend)
+
+    def record_text(self, record_id: int) -> str:
+        """The serialized text indexed under ``record_id``."""
+        try:
+            return self._live_texts[int(record_id)]
+        except KeyError:
+            raise KeyError(f"record id {record_id} is not indexed") from None
+
+    def index_records(
+        self, texts: Sequence[str], center: bool = True
+    ) -> np.ndarray:
+        """(Re)build the live index over ``texts``; returns their ids.
+
+        Embeddings come from the shared store (only unseen fingerprints
+        are encoded).  With ``center`` the corpus mean is subtracted
+        before normalization and *frozen*: later upserts and queries use
+        the same mean, so scores stay comparable across updates.  Call
+        this again (or :meth:`rebuild_index`) when drift accumulates.
+        """
+        # Validate the backend before touching any state: a failure here
+        # must leave an existing live index (and its frozen mean) intact.
+        backend = build_backend(self.config)
+        if not backend.supports_updates:
+            raise ValueError(
+                f"ann_backend {backend.name!r} does not support incremental "
+                "updates; choose exact, lsh, or hnsw for streaming serving"
+            )
+        ids, raw = self.store.upsert_batch(texts)
+        if center and raw.shape[0]:
+            self._index_mean = raw.mean(axis=0, keepdims=True)
+        else:
+            self._index_mean = np.zeros((1, self.store.dim))
+        backend.build(np.zeros((0, self.store.dim)))
+        unique_ids, first_rows = np.unique(ids, return_index=True)
+        backend.add(unique_ids, _normalize_rows(raw - self._index_mean)[first_rows])
+        self._live_backend = backend
+        self._live_texts = {
+            int(record_id): texts[row]
+            for record_id, row in zip(unique_ids.tolist(), first_rows.tolist())
+        }
+        return ids
+
+    def upsert_records(self, texts: Sequence[str]) -> np.ndarray:
+        """Insert-or-refresh records in the live index; returns their ids.
+
+        The delta path: only fingerprints the store has never seen are
+        encoded, and the ANN backend is patched in place (no rebuild).
+        Creates the index on first use.
+        """
+        if self._live_backend is None:
+            return self.index_records(texts)
+        ids, raw = self.store.upsert_batch(texts)
+        vectors = _normalize_rows(raw - self._index_mean)
+        unique_ids, first_rows = np.unique(ids, return_index=True)
+        self._live_backend.add(unique_ids, vectors[first_rows])
+        for record_id, row in zip(unique_ids.tolist(), first_rows.tolist()):
+            self._live_texts[record_id] = texts[row]
+        return ids
+
+    def delete_records(self, texts: Sequence[str]) -> np.ndarray:
+        """Remove records from the live index; returns their retired ids.
+
+        Retires the ids permanently (via ``EmbeddingStore.evict``): if
+        the same text is upserted again later it is a *new* record with
+        a fresh id.  Unknown texts raise ``KeyError``.
+        """
+        if self._live_backend is None:
+            raise RuntimeError("no live index; call index_records() first")
+        ids = self.store.ids_for(texts, assign=False)
+        unique_ids = np.unique(ids)
+        missing = [
+            int(record_id)
+            for record_id in unique_ids
+            if int(record_id) not in self._live_texts
+        ]
+        if missing:
+            raise KeyError(f"record ids not in the live index: {missing}")
+        self._live_backend.remove(unique_ids)
+        for record_id in unique_ids.tolist():
+            del self._live_texts[record_id]
+        self.store.evict(
+            list({self.store.fingerprint(text): text for text in texts}.values())
+        )
+        return ids
+
+    def search(
+        self, texts: Sequence[str], k: int = 10
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k live-index neighbours for each query text.
+
+        Returns ``(ids, scores)`` arrays of shape ``(len(texts), k)``;
+        ids are the stable record ids (``-1`` padding for short rows)
+        and map back to texts via :meth:`record_text`.  Query texts are
+        served from the warm cache when they happen to be corpus records
+        but are *not* cached themselves — unbounded query traffic must
+        neither grow the store nor evict the indexed corpus.
+        """
+        if self._live_backend is None:
+            raise RuntimeError("no live index; call index_records() first")
+        raw = self.store.embed_batch(texts, cache=False)
+        vectors = _normalize_rows(raw - self._index_mean)
+        return self._live_backend.query(vectors, k)
+
+    def rebuild_index(self) -> "MatchService":
+        """Compact the live index (drop tombstones); ids are unchanged."""
+        if self._live_backend is None:
+            raise RuntimeError("no live index; call index_records() first")
+        self._live_backend.rebuild()
+        return self
 
     # ------------------------------------------------------------------
     def match_pairs(

@@ -7,9 +7,17 @@ configurable chunks).  Cached vectors are the *raw* pooled outputs —
 normalization and corpus centering are cheap per-request transforms, so
 they stay out of the cache and one stored vector serves every consumer.
 
+For streaming consumers the store also hands out **stable record ids**:
+the first time a fingerprint is seen it gets the next integer id, and
+that assignment survives LRU eviction, re-encoding, and (via
+``save``/``load``) process restarts.  :meth:`upsert_batch` is the
+delta-encoding entry point — it returns ``(ids, vectors)`` while
+encoding only the fingerprints the store has never seen — and
+:meth:`evict` retires records whose ids must not be reused.
+
 >>> store = EmbeddingStore(encoder, batch_size=64)
 >>> vectors = store.embed_batch(corpus)          # encodes everything once
->>> vectors = store.embed_batch(corpus)          # pure cache hits
+>>> ids, vectors = store.upsert_batch(new_rows)  # encodes only the delta
 >>> store.save("vectors.npz")                    # persist across processes
 """
 
@@ -18,7 +26,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,6 +72,13 @@ class EmbeddingStore:
         self.batch_size = batch_size
         self.capacity = capacity
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        # Stable record ids: assigned once per fingerprint, never reused.
+        # The assignment outlives LRU eviction of the *vector* (a record
+        # that falls out of the cache and returns keeps its id), while
+        # evict() retires both the vector and the id.
+        self._key_ids: Dict[str, int] = {}
+        self._id_keys: Dict[int, str] = {}
+        self._next_id = 0
         self.hits = 0
         self.misses = 0
 
@@ -117,8 +132,85 @@ class EmbeddingStore:
         }
 
     def clear(self) -> None:
-        """Drop every cached vector (counters are kept)."""
+        """Drop every cached vector (counters and id assignments are
+        kept — ids identify *records*, not cache entries)."""
         self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Stable record ids
+    # ------------------------------------------------------------------
+    def ids_for(self, texts: Sequence[str], assign: bool = True) -> np.ndarray:
+        """Stable integer ids for ``texts`` (one per request position).
+
+        With ``assign`` (default) unseen fingerprints get fresh ids;
+        otherwise an unseen text raises ``KeyError``.
+        """
+        ids = np.empty(len(texts), dtype=np.int64)
+        for position, text in enumerate(texts):
+            key = self.fingerprint(text)
+            record_id = self._key_ids.get(key)
+            if record_id is None:
+                if not assign:
+                    raise KeyError(f"text has no assigned record id: {text!r}")
+                record_id = self._assign_id(key)
+            ids[position] = record_id
+        return ids
+
+    def has_id(self, record_id: int) -> bool:
+        """Whether ``record_id`` is currently assigned to some record."""
+        return int(record_id) in self._id_keys
+
+    def _assign_id(self, key: str) -> int:
+        record_id = self._next_id
+        self._next_id += 1
+        self._key_ids[key] = record_id
+        self._id_keys[record_id] = key
+        return record_id
+
+    # ------------------------------------------------------------------
+    # Streaming upserts / eviction
+    # ------------------------------------------------------------------
+    def upsert_batch(
+        self,
+        texts: Sequence[str],
+        normalize: bool = False,
+        chunk_size: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Delta-encode ``texts``; returns ``(ids, vectors)``.
+
+        Only fingerprints the store has never cached are encoded (the
+        same miss accounting as :meth:`embed_batch`); every text gets a
+        stable id, newly seen ones a fresh assignment.  This is the
+        single call streaming consumers need to feed an incremental ANN
+        index: ids key the index, vectors are the delta-friendly payload.
+        """
+        ids = self.ids_for(texts, assign=True)
+        vectors = self.embed_batch(texts, normalize=normalize, chunk_size=chunk_size)
+        return ids, vectors
+
+    def evict(self, texts: Sequence[str]) -> np.ndarray:
+        """Retire records: drop their vectors *and* id assignments.
+
+        Returns the retired ids.  Unlike LRU capacity eviction (which
+        only drops vectors), an evicted record that later reappears is a
+        *new* record and receives a fresh id — the contract incremental
+        indexes rely on to never resurrect deleted entries.  Unknown
+        texts raise ``KeyError``.
+        """
+        retired = np.empty(len(texts), dtype=np.int64)
+        keys = []
+        for position, text in enumerate(texts):
+            key = self.fingerprint(text)
+            record_id = self._key_ids.get(key)
+            if record_id is None:
+                raise KeyError(f"cannot evict unknown text: {text!r}")
+            keys.append(key)
+            retired[position] = record_id
+        for key, record_id in zip(keys, retired.tolist()):
+            self._cache.pop(key, None)
+            self._key_ids.pop(key, None)
+            self._id_keys.pop(record_id, None)
+        return retired
 
     # ------------------------------------------------------------------
     # Encoding
@@ -128,6 +220,7 @@ class EmbeddingStore:
         texts: Sequence[str],
         normalize: bool = False,
         chunk_size: Optional[int] = None,
+        cache: bool = True,
     ) -> np.ndarray:
         """Return a ``(len(texts), dim)`` matrix, encoding only cache misses.
 
@@ -135,7 +228,9 @@ class EmbeddingStore:
         text counts as one miss even if it appears several times in the
         request.  Rows come back in request order.  With ``normalize``
         the returned rows are L2-normalized copies; the cache always holds
-        raw vectors.
+        raw vectors.  ``cache=False`` still serves (and refreshes) hits
+        but does *not* insert the misses — the right mode for transient
+        query traffic that must not evict or outgrow the corpus cache.
         """
         keys = [self.fingerprint(text) for text in texts]
         resolved: Dict[str, np.ndarray] = {}
@@ -160,7 +255,8 @@ class EmbeddingStore:
             for row, key in enumerate(missing):
                 vector = np.asarray(encoded[row], dtype=np.float64)
                 resolved[key] = vector
-                self._insert(key, vector)
+                if cache:
+                    self._insert(key, vector)
         if not keys:
             return np.zeros((0, self.dim))
         matrix = np.vstack([resolved[key] for key in keys])
@@ -182,7 +278,16 @@ class EmbeddingStore:
     # Persistence (via core.persistence)
     # ------------------------------------------------------------------
     def save(self, path: PathLike) -> Path:
-        """Persist all cached vectors to an ``.npz`` vector-cache file."""
+        """Persist cached vectors (plus stable-id state) to an ``.npz``
+        vector-cache file.
+
+        Rows carry their record id when one was assigned (``-1``
+        otherwise).  The *complete* id assignment — including records
+        whose vectors fell out of the LRU cache, which therefore have no
+        row — rides along as ``id_assignments``, and ``next_id`` lets a
+        reloading store continue the sequence instead of reusing retired
+        ids.
+        """
         keys = list(self._cache)
         vectors = (
             np.vstack([self._cache[key] for key in keys])
@@ -196,7 +301,10 @@ class EmbeddingStore:
             metadata={
                 "dim": self.dim,
                 "encoder_fingerprint": self.encoder_fingerprint(),
+                "next_id": self._next_id,
+                "id_assignments": dict(self._key_ids),
             },
+            ids=[self._key_ids.get(key, -1) for key in keys],
         )
 
     def load(self, path: PathLike, strict: bool = True) -> int:
@@ -206,6 +314,11 @@ class EmbeddingStore:
         the stored encoder fingerprint must match this store's encoder;
         pass ``strict=False`` to skip that check (the dimension check
         always applies).
+
+        Stable-id state is restored only when this store has no
+        assignments of its own yet (a fresh store resuming a persisted
+        service); merging into a store that already handed out ids keeps
+        the live assignment and ignores the file's.
         """
         keys, vectors, metadata = load_vector_cache(path)
         if int(metadata.get("dim", -1)) != self.dim:
@@ -217,6 +330,34 @@ class EmbeddingStore:
                 "vector cache was built by a different encoder; "
                 "pass strict=False to load anyway"
             )
+        adopt_ids = not self._key_ids and (
+            "id_assignments" in metadata or "ids" in metadata
+        )
         for row, key in enumerate(keys):
             self._insert(key, vectors[row])
+        if adopt_ids:
+            # Prefer the complete assignment map (covers records whose
+            # vectors were LRU-evicted before the save); fall back to the
+            # row-aligned ids of older caches.
+            if "id_assignments" in metadata:
+                assignments = {
+                    str(key): int(record_id)
+                    for key, record_id in metadata["id_assignments"].items()
+                }
+            else:
+                assignments = {
+                    key: int(metadata["ids"][row])
+                    for row, key in enumerate(keys)
+                    if int(metadata["ids"][row]) >= 0
+                }
+            for key, record_id in assignments.items():
+                self._key_ids[key] = record_id
+                self._id_keys[record_id] = key
+        # Never rewind the sequence: ids this store already handed out
+        # (even if since retired) must not be reissued after a load.
+        self._next_id = max(
+            self._next_id,
+            int(metadata.get("next_id", 0)),
+            max(self._id_keys, default=-1) + 1,
+        )
         return len(keys)

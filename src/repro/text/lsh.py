@@ -15,12 +15,21 @@ tuned by two knobs: more ``num_tables`` raises recall (more chances for a
 neighbour to collide), more ``num_bits`` shrinks buckets (faster queries,
 lower recall).
 
+The index is *mutable*: :meth:`add` hashes only the new vectors and
+appends them to their buckets, and :meth:`remove` patches exactly the
+buckets a vector lives in — neither operation rehashes the existing
+corpus.  Removed slots become tombstones (their rows stay allocated but
+are never returned); :meth:`compact` rebuilds a dense index when the
+tombstone fraction grows.
+
 Usage::
 
     index = LSHIndex(dim=32, num_tables=16, num_bits=8, seed=0)
     index.build(corpus_vectors)              # (N, 32) unit-norm rows
     indices, scores = index.query(q, k=10)   # one query vector
     indices, scores = index.query_batch(Q, k=10)   # (M, 32) queries
+    slots = index.add(new_vectors)           # hash only the new rows
+    index.remove(slots[:2])                  # patch only their buckets
     index.recall_against_exact(Q, k=10)      # ANN quality diagnostic
 """
 
@@ -30,6 +39,8 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..utils import grow_array
 
 
 class LSHIndex:
@@ -57,8 +68,22 @@ class LSHIndex:
         self._tables: List[Dict[int, List[int]]] = [
             defaultdict(list) for _ in range(num_tables)
         ]
+        # Capacity-doubling storage: rows at _count and beyond are spare.
         self._vectors: Optional[np.ndarray] = None
+        self._alive: Optional[np.ndarray] = None
+        self._count = 0
         self._powers = 1 << np.arange(num_bits)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_alive(self) -> int:
+        """Number of live (non-tombstoned) vectors in the index."""
+        return 0 if self._alive is None else int(self._alive[: self._count].sum())
+
+    @property
+    def num_slots(self) -> int:
+        """Number of allocated slots, tombstones included."""
+        return self._count
 
     # ------------------------------------------------------------------
     def _signatures(self, vectors: np.ndarray) -> np.ndarray:
@@ -73,12 +98,89 @@ class LSHIndex:
         if vectors.ndim != 2 or vectors.shape[1] != self.dim:
             raise ValueError(f"expected (N, {self.dim}) vectors")
         self._vectors = vectors
+        self._count = vectors.shape[0]
+        self._alive = np.ones(self._count, dtype=bool)
         signatures = self._signatures(vectors)
         for table_index in range(self.num_tables):
             table = self._tables[table_index] = defaultdict(list)
             for item, key in enumerate(signatures[table_index]):
                 table[int(key)].append(item)
         return self
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, needed: int) -> None:
+        self._vectors = grow_array(self._vectors, self._count, needed)
+        self._alive = grow_array(self._alive, self._count, needed)
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Append vectors, hashing *only* the new rows; returns their slots.
+
+        Existing buckets are untouched — the cost is ``O(len(vectors))``
+        signature computations plus one bucket append per table (and an
+        amortized-O(1) capacity-doubling append), not a corpus rehash.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (N, {self.dim}) vectors")
+        if self._vectors is None:
+            self._vectors = np.zeros((0, self.dim))
+            self._alive = np.zeros(0, dtype=bool)
+            self._count = 0
+        start = self._count
+        slots = np.arange(start, start + vectors.shape[0], dtype=np.int64)
+        if vectors.shape[0] == 0:
+            return slots
+        self._ensure_capacity(start + vectors.shape[0])
+        self._vectors[start : start + vectors.shape[0]] = vectors
+        self._alive[start : start + vectors.shape[0]] = True
+        self._count = start + vectors.shape[0]
+        signatures = self._signatures(vectors)
+        for table_index in range(self.num_tables):
+            table = self._tables[table_index]
+            for offset, key in enumerate(signatures[table_index]):
+                table[int(key)].append(int(slots[offset]))
+        return slots
+
+    def remove(self, slots: Sequence[int]) -> None:
+        """Tombstone ``slots``, patching exactly the buckets they occupy.
+
+        Signatures are recomputed for the removed vectors only (they are
+        deterministic in the stored planes), so each removal touches
+        ``num_tables`` buckets and nothing else.
+        """
+        if self._vectors is None or self._alive is None:
+            raise RuntimeError("build the index before removing")
+        slot_array = np.asarray(list(slots), dtype=np.int64)
+        if slot_array.size == 0:
+            return
+        if (slot_array < 0).any() or (slot_array >= self._count).any():
+            raise KeyError(f"slot out of range in {slot_array}")
+        if not self._alive[slot_array].all():
+            dead = slot_array[~self._alive[slot_array]]
+            raise KeyError(f"slots already removed: {dead.tolist()}")
+        signatures = self._signatures(self._vectors[slot_array])
+        for table_index in range(self.num_tables):
+            table = self._tables[table_index]
+            for offset, key in enumerate(signatures[table_index]):
+                bucket = table[int(key)]
+                bucket.remove(int(slot_array[offset]))
+                if not bucket:
+                    del table[int(key)]
+        self._alive[slot_array] = False
+
+    def compact(self) -> np.ndarray:
+        """Rebuild densely from the live vectors, dropping tombstones.
+
+        Returns the old slot number of each new slot (``result[new] ==
+        old``) so callers tracking external ids can remap them.
+        """
+        if self._vectors is None or self._alive is None:
+            raise RuntimeError("build the index before compacting")
+        survivors = np.flatnonzero(self._alive[: self._count])
+        self.build(self._vectors[survivors].copy())
+        return survivors
 
     # ------------------------------------------------------------------
     def _rank_bucket_union(
@@ -91,8 +193,12 @@ class LSHIndex:
                 self._tables[table_index].get(int(signatures[table_index]), ())
             )
         if not candidates:
-            # Degenerate bucket miss: fall back to exact search.
-            candidates = set(range(self._vectors.shape[0]))
+            # Degenerate bucket miss: fall back to exact search over the
+            # live slots (buckets never hold tombstones, the fallback
+            # must not either).
+            candidates = set(np.flatnonzero(self._alive[: self._count]).tolist())
+        if not candidates:
+            return np.empty(0, dtype=np.int64), np.empty(0)
         candidate_list = np.fromiter(candidates, dtype=np.int64)
         scores = self._vectors[candidate_list] @ vector
         k = min(k, candidate_list.size)
@@ -135,15 +241,23 @@ class LSHIndex:
         self, queries: np.ndarray, k: int
     ) -> float:
         """Fraction of exact top-k neighbours the index retrieves —
-        the standard ANN quality diagnostic."""
+        the standard ANN quality diagnostic.
+
+        The exact reference is restricted to *live* slots: tombstoned
+        vectors can never be returned by ``query_batch``, so counting
+        them as ground truth would understate recall after removals.
+        """
         from .similarity import top_k_cosine
 
-        exact_indices, _ = top_k_cosine(queries, self._vectors, k=k)
+        live = np.flatnonzero(self._alive[: self._count])
+        if live.size == 0:
+            return 0.0
+        exact_rows, _ = top_k_cosine(queries, self._vectors[live], k=k)
         approx_indices, _ = self.query_batch(queries, k)
         hits = 0
         total = 0
         for row in range(queries.shape[0]):
-            exact_set = set(exact_indices[row].tolist())
+            exact_set = set(live[exact_rows[row]].tolist())
             approx_set = set(int(i) for i in approx_indices[row] if i >= 0)
             hits += len(exact_set & approx_set)
             total += len(exact_set)

@@ -1,6 +1,7 @@
-"""Shared utilities: seeded RNG management, timers, simple logging."""
+"""Shared utilities: seeded RNG management, timers, array buffers."""
 
+from .arrays import grow_array
 from .rng import RngStream, spawn_rng
 from .timing import Timer, timed
 
-__all__ = ["RngStream", "Timer", "spawn_rng", "timed"]
+__all__ = ["RngStream", "Timer", "grow_array", "spawn_rng", "timed"]

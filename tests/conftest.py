@@ -1,0 +1,35 @@
+"""Shared fixtures: deterministic seeding for every suite.
+
+The library itself never touches global random state (every stochastic
+component takes an explicit ``numpy.random.Generator`` — see
+``repro.utils.rng``), so determinism only requires that tests do the
+same.  The convention, documented in README.md:
+
+* tests that need randomness take the ``seeded_rng`` fixture (or call
+  ``repro.utils.spawn_rng`` with a literal seed) instead of creating
+  ad-hoc unseeded generators;
+* the autouse ``_reset_global_numpy_seed`` fixture pins numpy's legacy
+  global state per test, so any stray ``np.random.*`` consumer cannot
+  make results depend on test execution order (``pytest -p no:randomly``
+  and any shuffled order produce identical outcomes).
+"""
+
+import numpy as np
+import pytest
+
+TEST_SEED = 0
+
+
+@pytest.fixture
+def seeded_rng() -> np.random.Generator:
+    """A fresh, deterministically seeded generator for each test."""
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_numpy_seed():
+    """Pin (and afterwards restore) numpy's legacy global RNG per test."""
+    state = np.random.get_state()
+    np.random.seed(TEST_SEED)
+    yield
+    np.random.set_state(state)

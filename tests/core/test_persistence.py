@@ -1,4 +1,5 @@
-"""Tests for encoder checkpointing (weights + tokenizer + config)."""
+"""Tests for encoder checkpointing (weights + tokenizer + config) and
+the serving layer's vector caches (fingerprint-keyed embedding files)."""
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from repro.core import (
     pretrain,
     save_encoder,
 )
+from repro.core.persistence import load_vector_cache, save_vector_cache
 from repro.data.generators import load_em_benchmark
 
 
@@ -71,3 +73,105 @@ class TestPersistence:
         )
         with pytest.raises(ValueError):
             load_encoder(tmp_path / "bad.npz")
+
+    def test_corrupt_checkpoint_raises_clear_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00\x01 not an archive at all")
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_encoder(path)
+
+    def test_truncated_checkpoint_raises_clear_error(self, trained, tmp_path):
+        _, encoder = trained
+        path = save_encoder(encoder, tmp_path / "full.npz")
+        data = path.read_bytes()
+        truncated = tmp_path / "cut.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt"):
+            load_encoder(truncated)
+
+
+# ----------------------------------------------------------------------
+class TestVectorCache:
+    """save_vector_cache / load_vector_cache round-trips and corruption."""
+
+    def make_cache(self):
+        rng = np.random.default_rng(0)
+        fingerprints = [f"fp-{i:02d}" for i in range(6)]
+        vectors = rng.normal(size=(6, 8))
+        return fingerprints, vectors
+
+    def test_roundtrip_identical(self, tmp_path):
+        fingerprints, vectors = self.make_cache()
+        path = save_vector_cache(
+            tmp_path / "cache.npz", fingerprints, vectors, metadata={"dim": 8}
+        )
+        loaded_keys, loaded_vectors, metadata = load_vector_cache(path)
+        assert loaded_keys == fingerprints
+        np.testing.assert_array_equal(loaded_vectors, vectors)
+        assert metadata["dim"] == 8
+        assert "ids" not in metadata  # none were saved
+
+    def test_roundtrip_with_ids(self, tmp_path):
+        fingerprints, vectors = self.make_cache()
+        ids = [10, 11, 12, 13, 14, 15]
+        path = save_vector_cache(
+            tmp_path / "cache.npz", fingerprints, vectors, ids=ids
+        )
+        _, _, metadata = load_vector_cache(path)
+        assert metadata["ids"] == ids
+
+    def test_empty_cache_roundtrip(self, tmp_path):
+        path = save_vector_cache(tmp_path / "empty.npz", [], np.zeros((0, 4)))
+        keys, vectors, _ = load_vector_cache(path)
+        assert keys == [] and vectors.shape == (0, 4)
+
+    def test_shape_mismatch_rejected_on_save(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_vector_cache(tmp_path / "bad.npz", ["a", "b"], np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            save_vector_cache(
+                tmp_path / "bad.npz", ["a"], np.zeros((1, 4)), ids=[1, 2]
+            )
+
+    def test_garbage_file_raises_clear_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a cache")
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_vector_cache(path)
+
+    def test_truncated_file_raises_clear_error(self, tmp_path):
+        fingerprints, vectors = self.make_cache()
+        path = save_vector_cache(tmp_path / "full.npz", fingerprints, vectors)
+        data = path.read_bytes()
+        truncated = tmp_path / "cut.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt"):
+            load_vector_cache(truncated)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "v99.npz"
+        np.savez(
+            path,
+            fingerprints=np.asarray(["a"], dtype=np.str_),
+            vectors=np.zeros((1, 2)),
+            __metadata__=np.frombuffer(
+                json.dumps({"format_version": 99}).encode(), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(ValueError, match="unsupported vector cache format"):
+            load_vector_cache(path)
+
+    def test_missing_arrays_raise_clear_error(self, tmp_path):
+        import json
+
+        path = tmp_path / "partial.npz"
+        np.savez(
+            path,
+            __metadata__=np.frombuffer(
+                json.dumps({"format_version": 1}).encode(), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            load_vector_cache(path)

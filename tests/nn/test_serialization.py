@@ -1,0 +1,94 @@
+"""Round-trip and corruption tests for nn/serialization.py checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Linear,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    load_checkpoint,
+    no_grad,
+    save_checkpoint,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRoundTrip:
+    def test_identical_outputs_after_reload(self, tmp_path):
+        model = MLP(6, 12, 4, rng())
+        path = save_checkpoint(model, tmp_path / "mlp.npz")
+        restored = MLP(6, 12, 4, np.random.default_rng(99))
+        load_checkpoint(restored, path)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 6)))
+        np.testing.assert_array_equal(model(x).data, restored(x).data)
+
+    def test_transformer_embeddings_identical(self, tmp_path):
+        config = TransformerConfig(
+            vocab_size=30, dim=8, num_layers=1, num_heads=2, ffn_dim=16,
+            max_seq_len=6, dropout=0.0, seed=3,
+        )
+        encoder = TransformerEncoder(config)
+        path = save_checkpoint(encoder, tmp_path / "enc.npz")
+        restored = TransformerEncoder(
+            TransformerConfig(
+                vocab_size=30, dim=8, num_layers=1, num_heads=2, ffn_dim=16,
+                max_seq_len=6, dropout=0.0, seed=77,  # different init seed
+            )
+        )
+        load_checkpoint(restored, path)
+        ids = np.array([[2, 5, 6]])
+        with no_grad():
+            np.testing.assert_array_equal(
+                encoder.pooled(ids).data, restored.pooled(ids).data
+            )
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = Linear(3, 3, rng())
+        path = save_checkpoint(
+            model, tmp_path / "m.npz", metadata={"note": "hello", "step": 7}
+        )
+        metadata = load_checkpoint(Linear(3, 3, rng()), path)
+        assert metadata == {"note": "hello", "step": 7}
+
+    def test_suffixless_path_resolves(self, tmp_path):
+        model = Linear(2, 2, rng())
+        save_checkpoint(model, tmp_path / "ckpt")
+        load_checkpoint(Linear(2, 2, rng()), tmp_path / "ckpt")
+
+
+class TestCorruption:
+    def test_garbage_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is definitely not a zip archive")
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_checkpoint(Linear(2, 2, rng()), path)
+
+    def test_truncated_file_raises_value_error(self, tmp_path):
+        model = MLP(6, 12, 4, rng())
+        path = save_checkpoint(model, tmp_path / "full.npz")
+        data = path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(data[: len(data) // 3])
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_checkpoint(MLP(6, 12, 4, rng()), truncated)
+
+    def test_non_checkpoint_npz_raises_value_error(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, stuff=np.ones(3))  # no __metadata__, no param:: keys
+        with pytest.raises(ValueError, match="corrupt or unreadable"):
+            load_checkpoint(Linear(2, 2, rng()), path)
+
+    def test_wrong_architecture_raises_key_error(self, tmp_path):
+        path = save_checkpoint(Linear(3, 3, rng()), tmp_path / "lin.npz")
+        with pytest.raises(KeyError):
+            load_checkpoint(MLP(3, 3, 3, rng()), path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(Linear(2, 2, rng()), tmp_path / "nope.npz")

@@ -1,5 +1,6 @@
 """Serving-layer tests: EmbeddingStore caching + persistence, ANN backend
-parity, MatchService facade, and single-encoding pipeline integration."""
+parity and mutability, the streaming MatchService APIs, incremental
+blocking, and single-encoding pipeline integration."""
 
 import numpy as np
 import pytest
@@ -15,6 +16,7 @@ from repro.data.generators import load_em_benchmark
 from repro.serve import (
     EmbeddingStore,
     ExactBackend,
+    HNSWBackend,
     LSHBackend,
     MatchService,
     available_backends,
@@ -221,6 +223,413 @@ class TestBackends:
 
 
 # ----------------------------------------------------------------------
+def make_backend(name):
+    if name == "exact":
+        return ExactBackend()
+    if name == "lsh":
+        return LSHBackend(num_tables=32, num_bits=4, seed=0)
+    return HNSWBackend(seed=0)
+
+
+class TestMutableBackends:
+    """add / remove / rebuild across every built-in backend."""
+
+    @pytest.fixture(scope="class")
+    def vectors(self):
+        rng = spawn_rng(0, "mutable-backend-test")
+        matrix = rng.normal(size=(120, 16))
+        return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+    @pytest.fixture(scope="class")
+    def extra(self):
+        rng = spawn_rng(1, "mutable-backend-extra")
+        matrix = rng.normal(size=(6, 16))
+        return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_supports_updates_flag(self, name):
+        assert make_backend(name).supports_updates
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_add_new_records_visible(self, name, vectors, extra):
+        backend = make_backend(name).build(vectors)
+        assert len(backend) == vectors.shape[0]
+        ids = np.arange(500, 500 + extra.shape[0])
+        backend.add(ids, extra)
+        assert len(backend) == vectors.shape[0] + extra.shape[0]
+        found, scores = backend.query(extra, k=3)
+        for row in range(extra.shape[0]):
+            assert ids[row] in found[row]  # each new record is its own NN
+            assert scores[row, 0] >= scores[row, 1]
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_remove_hides_records(self, name, vectors, extra):
+        backend = make_backend(name).build(vectors)
+        ids = np.arange(500, 500 + extra.shape[0])
+        backend.add(ids, extra)
+        backend.remove(ids[:3])
+        assert len(backend) == vectors.shape[0] + 3
+        found, _ = backend.query(extra[:3], k=5)
+        assert not (np.isin(found, ids[:3])).any()
+        # Un-removed additions are still served.
+        found_kept, _ = backend.query(extra[3:], k=3)
+        for row, record_id in enumerate(ids[3:]):
+            assert record_id in found_kept[row]
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_upsert_replaces_vector(self, name, vectors, extra):
+        backend = make_backend(name).build(vectors)
+        backend.add(np.array([900]), extra[:1])
+        backend.add(np.array([900]), extra[1:2])  # same id, new vector
+        assert len(backend) == vectors.shape[0] + 1
+        found, _ = backend.query(extra[1:2], k=3)
+        assert 900 in found[0]
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_rebuild_preserves_ids(self, name, vectors, extra):
+        backend = make_backend(name).build(vectors)
+        ids = np.arange(500, 500 + extra.shape[0])
+        backend.add(ids, extra)
+        backend.remove(ids[::2])
+        live = len(backend)
+        backend.rebuild()
+        assert len(backend) == live
+        found, _ = backend.query(extra[1::2], k=3)
+        for row, record_id in enumerate(ids[1::2]):
+            assert record_id in found[row]
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_remove_unknown_id_raises(self, name, vectors):
+        backend = make_backend(name).build(vectors)
+        with pytest.raises(KeyError):
+            backend.remove([10_000])
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_duplicate_ids_in_add_rejected(self, name, vectors, extra):
+        backend = make_backend(name).build(vectors)
+        with pytest.raises(ValueError):
+            backend.add(np.array([7, 7]), extra[:2])
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_duplicate_ids_in_remove_rejected_before_mutation(
+        self, name, vectors
+    ):
+        """Regression: a duplicated id used to corrupt bucket/graph state
+        halfway through the patch; it must fail atomically instead."""
+        backend = make_backend(name).build(vectors)
+        with pytest.raises(ValueError):
+            backend.remove([5, 5])
+        # Nothing was mutated: the id still resolves and can be removed.
+        assert len(backend) == vectors.shape[0]
+        backend.remove([5])
+        assert len(backend) == vectors.shape[0] - 1
+
+    @pytest.mark.parametrize("name", ["exact", "lsh", "hnsw"])
+    def test_build_from_empty_then_add(self, name, extra):
+        backend = make_backend(name).build(np.zeros((0, 16)))
+        assert len(backend) == 0
+        found, scores = backend.query(extra[:2], k=4)
+        assert (found == -1).all() and np.isneginf(scores).all()
+        backend.add(np.array([3, 9]), extra[:2])
+        found, _ = backend.query(extra[:1], k=1)
+        assert found[0, 0] == 3
+
+    def test_hnsw_recall_parity(self, vectors):
+        backend = HNSWBackend(seed=0).build(vectors)
+        approx, _ = backend.query(vectors, k=5)
+        exact, _ = ExactBackend().build(vectors).query(vectors, k=5)
+        hits = sum(
+            len(set(exact[row]) & set(i for i in approx[row] if i >= 0))
+            for row in range(vectors.shape[0])
+        )
+        assert hits / exact.size >= 0.9
+
+    def test_hnsw_deterministic(self, vectors):
+        first, _ = HNSWBackend(seed=3).build(vectors).query(vectors[:10], k=4)
+        second, _ = HNSWBackend(seed=3).build(vectors).query(vectors[:10], k=4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_hnsw_query_under_heavy_churn(self, vectors):
+        """Deleting most of the corpus must not starve result rows."""
+        backend = HNSWBackend(seed=0).build(vectors)
+        backend.remove(np.arange(0, 100))
+        found, _ = backend.query(vectors[:5], k=10)
+        for row in range(5):
+            returned = found[row][found[row] >= 0]
+            assert returned.size == 10  # 20 live records remain
+            assert (returned >= 100).all()
+
+    def test_hnsw_registry_uses_config_knobs(self):
+        config = SudowoodoConfig(
+            ann_backend="hnsw", hnsw_m=5, hnsw_ef_construction=30, hnsw_ef_search=9
+        )
+        backend = build_backend(config)
+        assert isinstance(backend, HNSWBackend)
+        assert backend.m == 5
+        assert backend.ef_construction == 30
+        assert backend.ef_search == 9
+
+    def test_static_backend_reports_no_update_support(self):
+        class Static(ExactBackend):
+            supports_updates = False
+
+        backend = Static()
+        assert not backend.supports_updates
+
+
+# ----------------------------------------------------------------------
+class TestStableIds:
+    """EmbeddingStore record ids: upsert_batch / evict / persistence."""
+
+    def test_upsert_batch_delta_encodes(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:6]
+        ids, vectors = store.upsert_batch(texts)
+        assert vectors.shape == (len(texts), store.dim)
+        assert store.misses == len(set(texts))
+        # Second upsert of an overlapping batch encodes only the delta.
+        more = dataset.all_items()[4:8]
+        ids2, _ = store.upsert_batch(more)
+        assert store.misses == len(set(texts) | set(more))
+        # Overlapping texts keep their ids.
+        assert ids2[0] == ids[4] and ids2[1] == ids[5]
+
+    def test_ids_stable_across_lru_eviction(self, dataset, encoder):
+        store = EmbeddingStore(encoder, capacity=2)
+        texts = dataset.all_items()[:3]
+        ids, _ = store.upsert_batch(texts)
+        assert texts[0] not in store  # vector evicted by capacity...
+        ids_again = store.ids_for(texts)
+        np.testing.assert_array_equal(ids, ids_again)  # ...but ids survive
+
+    def test_evict_retires_ids_permanently(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:4]
+        ids, _ = store.upsert_batch(texts)
+        retired = store.evict(texts[:2])
+        np.testing.assert_array_equal(retired, ids[:2])
+        assert not store.has_id(int(ids[0]))
+        # A re-upserted evicted text is a new record with a fresh id.
+        fresh, _ = store.upsert_batch(texts[:1])
+        assert fresh[0] not in ids
+
+    def test_evict_unknown_text_raises(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        with pytest.raises(KeyError):
+            store.evict(["never seen this"])
+
+    def test_ids_for_without_assign_raises_on_unknown(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        with pytest.raises(KeyError):
+            store.ids_for(["unknown text"], assign=False)
+
+    def test_lru_evicted_ids_survive_save_load(self, dataset, encoder, tmp_path):
+        """Regression: id assignments must persist even for records whose
+        vectors fell out of the LRU cache before the save."""
+        store = EmbeddingStore(encoder, capacity=2)
+        texts = dataset.all_items()[:5]
+        ids, _ = store.upsert_batch(texts)
+        assert len(store) == 2  # vectors 0-2 evicted, ids still assigned
+        path = store.save(tmp_path / "cache.npz")
+
+        fresh = EmbeddingStore(encoder, capacity=2)
+        fresh.load(path)
+        np.testing.assert_array_equal(fresh.ids_for(texts, assign=False), ids)
+
+    def test_load_never_rewinds_id_sequence(self, dataset, encoder, tmp_path):
+        """Regression: loading an older cache must not rewind next_id and
+        reissue ids this store already handed out (and possibly retired)."""
+        old_store = EmbeddingStore(encoder)
+        old_store.upsert_batch(dataset.all_items()[:2])  # file next_id == 2
+        path = old_store.save(tmp_path / "old.npz")
+
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:10]
+        ids, _ = store.upsert_batch(texts)
+        store.evict(texts)  # all retired; _key_ids empty again
+        store.load(path)
+        reissued = store.ids_for(["a brand new streaming record"])[0]
+        assert reissued not in set(ids.tolist())
+        assert reissued >= ids.max() + 1
+
+    def test_failed_reindex_leaves_live_index_intact(self, dataset, encoder):
+        """Regression: index_records with an invalid backend must not
+        clobber the frozen mean / live index before failing."""
+        service = MatchService(encoder, config=tiny_config())
+        corpus = dataset.all_items()[:8]
+        ids = service.index_records(corpus)
+        mean_before = service._index_mean.copy()
+
+        class Static(ExactBackend):
+            supports_updates = False
+
+        register_backend("static-for-test", lambda config: Static())
+        try:
+            service.config = tiny_config(ann_backend="static-for-test")
+            with pytest.raises(ValueError, match="does not support"):
+                service.index_records(dataset.all_items()[:4])
+        finally:
+            from repro.serve import backends as backends_module
+
+            backends_module._BACKENDS.pop("static-for-test", None)
+        # Old index still serves, under the unchanged mean.
+        np.testing.assert_array_equal(service._index_mean, mean_before)
+        found, _ = service.search(corpus[:1], k=2)
+        assert ids[0] in found[0]
+
+    def test_search_does_not_grow_store(self, dataset, encoder):
+        """Query traffic must not populate (or evict from) the corpus cache."""
+        service = MatchService(encoder, config=tiny_config())
+        corpus = dataset.all_items()[:8]
+        service.index_records(corpus)
+        size_before = len(service.store)
+        service.search(["transient query one", "transient query two"], k=3)
+        assert len(service.store) == size_before
+
+    def test_id_state_persists_across_save_load(self, dataset, encoder, tmp_path):
+        store = EmbeddingStore(encoder)
+        texts = dataset.all_items()[:5]
+        ids, _ = store.upsert_batch(texts)
+        store.evict(texts[4:5])  # retire one id so next_id > live max + 1
+        path = store.save(tmp_path / "cache.npz")
+
+        fresh = EmbeddingStore(encoder)
+        fresh.load(path)
+        np.testing.assert_array_equal(
+            fresh.ids_for(texts[:4], assign=False), ids[:4]
+        )
+        # The id sequence continues — the retired id is never reused.
+        new_id = fresh.ids_for(["a brand new record"])[0]
+        assert new_id >= ids[4] + 1
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend_name", ["exact", "lsh", "hnsw"])
+class TestStreamingService:
+    """MatchService live index: index / upsert / delete / search."""
+
+    def service(self, encoder, backend_name):
+        return MatchService(
+            encoder, config=tiny_config(ann_backend=backend_name)
+        )
+
+    def test_index_upsert_search_delete_cycle(self, dataset, encoder, backend_name):
+        service = self.service(encoder, backend_name)
+        corpus = dataset.all_items()[:10]
+        ids = service.index_records(corpus)
+        assert service.index_size == len(set(corpus))
+
+        misses = service.store.misses
+        new_records = dataset.all_items()[10:13]
+        new_ids = service.upsert_records(new_records)
+        expected_new = len(set(new_records) - set(corpus))
+        assert service.store.misses == misses + expected_new  # delta only
+
+        found, scores = service.search(new_records, k=3)
+        assert found.shape == (len(new_records), 3)
+        for row in range(len(new_records)):
+            assert new_ids[row] in found[row]
+            assert service.record_text(int(new_ids[row])) == new_records[row]
+
+        retired = service.delete_records(new_records[:1])
+        assert retired[0] == new_ids[0]
+        found_after, _ = service.search(new_records[:1], k=5)
+        assert new_ids[0] not in found_after[0]
+
+    def test_search_without_index_raises(self, dataset, encoder, backend_name):
+        service = self.service(encoder, backend_name)
+        with pytest.raises(RuntimeError):
+            service.search(["x"], k=2)
+        with pytest.raises(RuntimeError):
+            service.delete_records(["x"])
+
+    def test_delete_unknown_record_raises(self, dataset, encoder, backend_name):
+        service = self.service(encoder, backend_name)
+        service.index_records(dataset.all_items()[:6])
+        with pytest.raises(KeyError):
+            service.delete_records(["never indexed"])
+
+    def test_deleted_record_never_resurrected(self, dataset, encoder, backend_name):
+        service = self.service(encoder, backend_name)
+        corpus = dataset.all_items()[:8]
+        service.index_records(corpus)
+        old_id = int(service.delete_records(corpus[:1])[0])
+        new_id = int(service.upsert_records(corpus[:1])[0])
+        assert new_id != old_id  # fresh identity for the re-added record
+        found, _ = service.search(corpus[:1], k=3)
+        assert new_id in found[0] and old_id not in found[0]
+
+    def test_rebuild_index_keeps_serving(self, dataset, encoder, backend_name):
+        service = self.service(encoder, backend_name)
+        corpus = dataset.all_items()[:10]
+        ids = service.index_records(corpus)
+        service.delete_records(corpus[:3])
+        service.rebuild_index()
+        assert service.index_size == len(set(corpus)) - 3
+        found, _ = service.search(corpus[3:4], k=2)
+        assert ids[3] in found[0]
+
+
+# ----------------------------------------------------------------------
+class TestIncrementalBlocker:
+    def test_upsert_b_encodes_only_new(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        blocker = Blocker(encoder, dataset, store=store)
+        misses = store.misses
+        new_texts = ["[COL] name [VAL] streaming gadget x"]
+        ids = blocker.upsert_b(new_texts)
+        assert store.misses == misses + 1
+        assert blocker.num_live_b == len(dataset.table_b) + 1
+        candidate_set = blocker.candidates(k=3)
+        assert candidate_set.num_b == blocker.num_live_b
+        assert ids[0] == len(dataset.table_b)
+
+    def test_new_record_appears_in_candidates(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        blocker = Blocker(encoder, dataset, store=store)
+        # Upsert a clone of A record 0: it must become a top candidate.
+        clone = dataset.serialize_a(0)
+        ids = blocker.upsert_b([clone])
+        candidate_set = blocker.candidates(k=3)
+        assert candidate_set.contains(0, int(ids[0]))
+
+    def test_delete_b_hides_candidates(self, dataset, encoder):
+        blocker = Blocker(encoder, dataset, store=EmbeddingStore(encoder))
+        before = blocker.candidates(k=2)
+        target_b = before.pairs[0][1]
+        blocker.delete_b([target_b])
+        after = blocker.candidates(k=2)
+        assert all(b != target_b for _, b in after.pairs)
+        assert after.num_b == before.num_b - 1
+        with pytest.raises(KeyError):
+            blocker.delete_b([target_b])  # already deleted
+
+    def test_rebuild_recenters_without_reencoding(self, dataset, encoder):
+        store = EmbeddingStore(encoder)
+        blocker = Blocker(encoder, dataset, store=store)
+        blocker.upsert_b(["[COL] name [VAL] churn item"])
+        ids = blocker.upsert_b(["[COL] name [VAL] second churn item"])
+        blocker.delete_b(ids)
+        misses = store.misses
+        blocker.rebuild()
+        assert store.misses == misses  # cache-only rebuild
+        candidate_set = blocker.candidates(k=2)
+        assert candidate_set.num_b == blocker.num_live_b
+        assert all(b != ids[0] for _, b in candidate_set.pairs)
+
+    def test_pipeline_streaming_wrappers(self, dataset):
+        pipeline = SudowoodoPipeline(tiny_config())
+        pipeline.pretrain_on(dataset)
+        pipeline.pseudo_labels(8)
+        assert pipeline._pseudo is not None
+        ids = pipeline.upsert_records(["[COL] name [VAL] piped record"])
+        assert pipeline._pseudo is None  # stale pseudo labels invalidated
+        assert pipeline.block(k=2).num_b == len(dataset.table_b) + 1
+        pipeline.delete_records(ids)
+        assert pipeline.block(k=2).num_b == len(dataset.table_b)
+
+
+# ----------------------------------------------------------------------
 class TestBlockerAndService:
     def test_blocker_shares_store(self, dataset, encoder):
         store = EmbeddingStore(encoder)
@@ -320,6 +729,31 @@ class TestPipelineIntegration:
             [(dataset.serialize_a(0), dataset.serialize_b(0))]
         )
         assert probabilities.shape == (1, 2)
+
+    def test_finetune_changes_fingerprint_and_invalidates_cache(
+        self, dataset, tmp_path
+    ):
+        """The PR 1 invalidation contract: in-place fine-tuning mutates the
+        encoder, so (a) ``encoder_fingerprint()`` changes and (b) a cache
+        saved pre-finetune strict-load-fails into the updated encoder."""
+        pipeline = SudowoodoPipeline(tiny_config(finetune_epochs=1, multiplier=2))
+        pipeline.pretrain_on(dataset)
+        pipeline.block(k=3)
+        fingerprint_before = pipeline.store.encoder_fingerprint()
+        path = pipeline.store.save(tmp_path / "pre_finetune.npz")
+
+        pipeline.train_matcher(label_budget=16)
+
+        fingerprint_after = pipeline.store.encoder_fingerprint()
+        assert fingerprint_after != fingerprint_before
+        # Stale vectors were dropped by the pipeline...
+        assert len(pipeline.store) == 0
+        # ...and the persisted pre-finetune cache is rejected by a strict
+        # load into the (mutated) encoder.
+        with pytest.raises(ValueError, match="different encoder"):
+            pipeline.store.load(path)
+        # Non-strict load remains possible for callers that accept drift.
+        assert pipeline.store.load(path, strict=False) > 0
 
     def test_pipeline_lsh_backend(self, dataset):
         config = tiny_config(ann_backend="lsh", lsh_num_tables=16, lsh_num_bits=2)

@@ -72,6 +72,52 @@ class TestLSHIndex:
         np.testing.assert_array_equal(ia, ib)
 
 
+class TestLSHIndexMutability:
+    def test_add_matches_fresh_build(self):
+        """Incrementally hashed rows land in the same buckets a fresh
+        build would put them in — queries agree exactly."""
+        vectors = unit_vectors(60, 12, seed=8)
+        incremental = LSHIndex(dim=12, num_tables=8, num_bits=6, seed=0)
+        incremental.build(vectors[:40])
+        slots = incremental.add(vectors[40:])
+        np.testing.assert_array_equal(slots, np.arange(40, 60))
+        fresh = LSHIndex(dim=12, num_tables=8, num_bits=6, seed=0).build(vectors)
+        for query in vectors[:10]:
+            ia, _ = incremental.query(query, k=5)
+            ib, _ = fresh.query(query, k=5)
+            np.testing.assert_array_equal(np.sort(ia), np.sort(ib))
+
+    def test_remove_patches_buckets(self):
+        vectors = unit_vectors(50, 16, seed=9)
+        index = LSHIndex(dim=16, num_tables=6, num_bits=4, seed=0).build(vectors)
+        index.remove([0, 7])
+        assert index.num_alive == 48
+        indices, _ = index.query_batch(vectors[:10], k=5)
+        returned = set(int(i) for i in indices.ravel() if i >= 0)
+        assert 0 not in returned and 7 not in returned
+        with pytest.raises(KeyError):
+            index.remove([7])  # already tombstoned
+
+    def test_compact_returns_slot_mapping(self):
+        vectors = unit_vectors(30, 8, seed=10)
+        index = LSHIndex(dim=8, num_tables=4, num_bits=4, seed=0).build(vectors)
+        index.remove([1, 3, 5])
+        survivors = index.compact()
+        np.testing.assert_array_equal(
+            survivors, np.asarray([0, 2, 4] + list(range(6, 30)))
+        )
+        assert index.num_alive == index.num_slots == 27
+
+    def test_recall_diagnostic_ignores_tombstones(self):
+        """Regression: the exact reference must exclude removed rows, or
+        a perfect index scores spuriously low recall after churn."""
+        vectors = unit_vectors(80, 12, seed=11)
+        index = LSHIndex(dim=12, num_tables=48, num_bits=3, seed=0).build(vectors)
+        index.remove(np.arange(0, 40).tolist())
+        recall = index.recall_against_exact(vectors[40:50], k=5)
+        assert recall >= 0.95
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=500))
 def test_property_lsh_returns_valid_indices(seed):
