@@ -9,7 +9,11 @@ Embeddings are produced through a :class:`~repro.serve.store.EmbeddingStore`
 (each distinct record is encoded once per process, then served from the
 cache) and candidate search goes through the pluggable
 :class:`~repro.serve.backends.ANNBackend` protocol — exact brute-force by
-default, random-hyperplane LSH or graph-based HNSW for large corpora:
+default, random-hyperplane LSH or graph-based HNSW for large corpora.
+With ``SudowoodoConfig(num_shards > 1)``, ``build_backend`` hands the
+blocker a :class:`~repro.serve.sharding.ShardedBackend`: table B is
+hash-partitioned across per-shard indexes and every candidate query fans
+out in parallel, with no change to the blocker itself:
 
 >>> from repro.serve import EmbeddingStore, build_backend
 >>> store = EmbeddingStore(encoder)

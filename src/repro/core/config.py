@@ -98,6 +98,16 @@ class SudowoodoConfig:
     # (None = cache every vector, the right default for batch pipelines).
     serve_batch_size: int = 64
     embed_cache_capacity: Optional[int] = None
+    # Sharded serving (serve.sharding): with num_shards > 1 the ANN index
+    # is hash-partitioned across per-shard backends queried in parallel,
+    # and SudowoodoPipeline.match_service() returns the thread-safe
+    # ShardedMatchService.  The coalescer collects concurrent search()
+    # callers for up to coalesce_window_ms into one batched encoder /
+    # backend call, capped at max_coalesce_batch queries per batch
+    # (window 0 = no added latency, only simultaneous callers coalesce).
+    num_shards: int = 1
+    coalesce_window_ms: float = 2.0
+    max_coalesce_batch: int = 64
 
     # ------------------------------------------------- optimization flags
     use_pseudo_labeling: bool = True
@@ -146,3 +156,9 @@ class SudowoodoConfig:
             raise ValueError("serve_batch_size must be positive")
         if self.embed_cache_capacity is not None and self.embed_cache_capacity < 1:
             raise ValueError("embed_cache_capacity must be positive or None")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.coalesce_window_ms < 0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        if self.max_coalesce_batch < 1:
+            raise ValueError("max_coalesce_batch must be positive")

@@ -20,6 +20,12 @@ discovery.  This package makes that reuse concrete at serving time:
   ``embed_batch`` / ``block`` / ``match_pairs`` plus the streaming
   ``index_records`` / ``upsert_records`` / ``delete_records`` /
   ``search`` APIs over a shared warm cache.
+* :class:`ShardedBackend` / :class:`ShardedMatchService` /
+  :class:`QueryCoalescer` — concurrent serving: the live index is
+  hash-partitioned across per-shard backends (read-write locked,
+  queried in parallel) and concurrent ``search`` callers are coalesced
+  into single batched encoder/backend calls.  Enabled by
+  ``SudowoodoConfig(num_shards=...)``.
 """
 
 from .backends import (
@@ -33,6 +39,13 @@ from .backends import (
 )
 from .hnsw import HNSWIndex
 from .service import MatchService
+from .sharding import (
+    QueryCoalescer,
+    ReadWriteLock,
+    ShardedBackend,
+    ShardedMatchService,
+    shard_assignments,
+)
 from .store import EmbeddingStore
 
 __all__ = [
@@ -43,7 +56,12 @@ __all__ = [
     "HNSWIndex",
     "LSHBackend",
     "MatchService",
+    "QueryCoalescer",
+    "ReadWriteLock",
+    "ShardedBackend",
+    "ShardedMatchService",
     "available_backends",
     "build_backend",
     "register_backend",
+    "shard_assignments",
 ]

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..core.config import SudowoodoConfig
 from ..text.lsh import LSHIndex
-from ..text.similarity import top_k_cosine
+from ..text.similarity import cosine_matrix
 from ..utils import grow_array
 from .hnsw import HNSWIndex
 
@@ -214,7 +214,14 @@ class ExactBackend(ANNBackend):
         # Rows are always dense; nothing to compact.
         return self
 
+    #: Extra candidates taken past k before the deterministic sort; ties
+    #: spanning more than this many boundary candidates trigger an exact
+    #: per-row fallback.
+    _TIE_PAD = 32
+
     def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ValueError("k must be positive")
         vectors = self._view()
         queries = np.asarray(queries, dtype=np.float64)
         if vectors.shape[0] == 0:
@@ -222,8 +229,37 @@ class ExactBackend(ANNBackend):
                 np.full((queries.shape[0], k), -1, dtype=np.int64),
                 np.full((queries.shape[0], k), -np.inf),
             )
-        indices, scores = top_k_cosine(queries, vectors, k=min(k, vectors.shape[0]))
-        indices = self._ids[: self._size][indices]
+        sims = cosine_matrix(queries, vectors)
+        row_ids = self._ids[: self._size]
+        n = vectors.shape[0]
+        kk = min(k, n)
+        # Total order (score descending, id ascending): score ties are
+        # broken deterministically, which keeps results reproducible and
+        # shard-stable — the sharded merge sorts by exactly this key.
+        # Fast path: argpartition down to kk + _TIE_PAD candidates, then
+        # lexsort only those.  That is exact unless a score tie spans
+        # the partition boundary (a dropped record could then deserve a
+        # kept record's slot by id); such rows fall back to a full sort.
+        take = kk + self._TIE_PAD
+        if n > take:
+            cand = np.argpartition(-sims, kth=take - 1, axis=1)[:, :take]
+            cand_scores = np.take_along_axis(sims, cand, axis=1)
+            cand_ids = row_ids[cand]
+            order = np.lexsort((cand_ids, -cand_scores), axis=-1)[:, :kk]
+            indices = np.take_along_axis(cand_ids, order, axis=1)
+            scores = np.take_along_axis(cand_scores, order, axis=1)
+            # Every dropped score <= the worst retained candidate; a tie
+            # can only cross when the kk-th kept score reaches it.
+            unsafe = scores[:, -1] <= cand_scores.min(axis=1)
+            for row in np.flatnonzero(unsafe):
+                full = np.lexsort((row_ids, -sims[row]))[:kk]
+                indices[row] = row_ids[full]
+                scores[row] = sims[row][full]
+        else:
+            ids = np.broadcast_to(row_ids, sims.shape)
+            order = np.lexsort((ids, -sims), axis=-1)[:, :kk]
+            indices = np.take_along_axis(ids, order, axis=1)
+            scores = np.take_along_axis(sims, order, axis=1)
         if indices.shape[1] < k:
             # Honour the protocol shape: pad rows out to k like the
             # approximate backends do, so "exact" and "lsh" stay
@@ -465,9 +501,20 @@ def available_backends() -> List[str]:
 
 
 def build_backend(
-    config: Optional[SudowoodoConfig] = None, name: Optional[str] = None
+    config: Optional[SudowoodoConfig] = None,
+    name: Optional[str] = None,
+    sharded: Optional[bool] = None,
 ) -> ANNBackend:
-    """Instantiate the backend selected by ``name`` or ``config.ann_backend``."""
+    """Instantiate the backend selected by ``name`` or ``config.ann_backend``.
+
+    With ``config.num_shards > 1`` the chosen backend is wrapped in a
+    :class:`~repro.serve.sharding.ShardedBackend` — one partition per
+    shard, thread-safe, queried in parallel — so every consumer that
+    builds backends through this registry (``Blocker``,
+    ``MatchService.index_records``, the pipeline) shards transparently.
+    Pass ``sharded=False`` to force a single unwrapped instance (or
+    ``sharded=True`` to wrap regardless of the caller-supplied config).
+    """
     config = config or SudowoodoConfig()
     chosen = name or config.ann_backend
     try:
@@ -476,4 +523,14 @@ def build_backend(
         raise ValueError(
             f"unknown ANN backend {chosen!r}; available: {available_backends()}"
         ) from None
+    num_shards = getattr(config, "num_shards", 1)
+    if sharded is None:
+        sharded = num_shards > 1
+    if sharded:
+        from .sharding import ShardedBackend  # deferred: sharding imports backends
+
+        # max(..., 1): sharded=True with a single-shard config still
+        # yields the lock-guarded wrapper (callers ask for it to get
+        # thread safety, not just partitioning).
+        return ShardedBackend(lambda: factory(config), max(num_shards, 1))
     return factory(config)

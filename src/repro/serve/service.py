@@ -116,8 +116,11 @@ class MatchService:
         self_join = texts_b is None
         if self_join:
             texts_b = texts_a
-        raw_a = self.store.embed_batch(texts_a)
-        raw_b = raw_a if self_join else self.store.embed_batch(texts_b)
+        # Through self.embed_batch (not the store directly): subclasses
+        # hook that method to add locking, and only the embed step needs
+        # it — the backend build/query below runs on local data.
+        raw_a = self.embed_batch(texts_a, normalize=False)
+        raw_b = raw_a if self_join else self.embed_batch(texts_b, normalize=False)
         if center and (raw_a.size or raw_b.size):
             mean = np.vstack([raw_a, raw_b]).mean(axis=0, keepdims=True)
             raw_a = raw_a - mean
@@ -153,6 +156,11 @@ class MatchService:
         except KeyError:
             raise KeyError(f"record id {record_id} is not indexed") from None
 
+    def _build_live_backend(self) -> ANNBackend:
+        """Backend factory hook for :meth:`index_records` (subclasses
+        override to force the lock-guarded sharded wrapper)."""
+        return build_backend(self.config)
+
     def index_records(
         self, texts: Sequence[str], center: bool = True
     ) -> np.ndarray:
@@ -166,7 +174,7 @@ class MatchService:
         """
         # Validate the backend before touching any state: a failure here
         # must leave an existing live index (and its frozen mean) intact.
-        backend = build_backend(self.config)
+        backend = self._build_live_backend()
         if not backend.supports_updates:
             raise ValueError(
                 f"ann_backend {backend.name!r} does not support incremental "
@@ -205,30 +213,41 @@ class MatchService:
         return ids
 
     def delete_records(self, texts: Sequence[str]) -> np.ndarray:
-        """Remove records from the live index; returns their retired ids.
+        """Remove records from the live index; returns the retired ids.
 
         Retires the ids permanently (via ``EmbeddingStore.evict``): if
         the same text is upserted again later it is a *new* record with
-        a fresh id.  Unknown texts raise ``KeyError``.
+        a fresh id.  A text that is not in the live index — never
+        indexed, or already deleted — is a documented **no-op**: it is
+        skipped (its store cache entry, if any, is left untouched, so
+        deleting query traffic can never evict blocking corpora) and
+        only the ids actually retired are returned, an empty array when
+        none were.  Store eviction is therefore symmetric with index
+        removal: exactly the records leaving the index leave the store.
         """
         if self._live_backend is None:
             raise RuntimeError("no live index; call index_records() first")
-        ids = self.store.ids_for(texts, assign=False)
-        unique_ids = np.unique(ids)
-        missing = [
-            int(record_id)
-            for record_id in unique_ids
-            if int(record_id) not in self._live_texts
-        ]
-        if missing:
-            raise KeyError(f"record ids not in the live index: {missing}")
-        self._live_backend.remove(unique_ids)
-        for record_id in unique_ids.tolist():
+        doomed_texts: list = []
+        doomed_ids: list = []
+        seen: set = set()
+        for text in texts:
+            try:
+                record_id = int(self.store.ids_for([text], assign=False)[0])
+            except KeyError:
+                continue  # never assigned an id at all
+            if record_id not in self._live_texts or record_id in seen:
+                continue  # cached-but-unindexed, already deleted, or duplicate
+            seen.add(record_id)
+            doomed_texts.append(text)
+            doomed_ids.append(record_id)
+        if not doomed_ids:
+            return np.empty(0, dtype=np.int64)
+        id_array = np.asarray(doomed_ids, dtype=np.int64)
+        self._live_backend.remove(id_array)
+        for record_id in doomed_ids:
             del self._live_texts[record_id]
-        self.store.evict(
-            list({self.store.fingerprint(text): text for text in texts}.values())
-        )
-        return ids
+        self.store.evict(doomed_texts)
+        return id_array
 
     def search(
         self, texts: Sequence[str], k: int = 10

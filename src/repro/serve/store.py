@@ -24,6 +24,7 @@ encoding only the fingerprints the store has never seen — and
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -71,6 +72,14 @@ class EmbeddingStore:
         self.encoder = encoder
         self.batch_size = batch_size
         self.capacity = capacity
+        # One reentrant mutex per store, acquired by every state-touching
+        # public method (even cache hits mutate: LRU move-to-end, hit
+        # counters).  Reentrant so a concurrent consumer — e.g. a
+        # ShardedMatchService, which uses this same lock to keep its
+        # index metadata consistent with the store — can hold it across
+        # a compound operation; crucially, services *sharing* a store
+        # thereby share one lock instead of racing through private ones.
+        self.lock = threading.RLock()
         self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         # Stable record ids: assigned once per fingerprint, never reused.
         # The assignment outlives LRU eviction of the *vector* (a record
@@ -123,18 +132,20 @@ class EmbeddingStore:
 
     def stats(self) -> Dict[str, float]:
         """Cache counters: hits, misses, size, and hit rate."""
-        lookups = self.hits + self.misses
-        return {
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "size": float(len(self._cache)),
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-        }
+        with self.lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "size": float(len(self._cache)),
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
     def clear(self) -> None:
         """Drop every cached vector (counters and id assignments are
         kept — ids identify *records*, not cache entries)."""
-        self._cache.clear()
+        with self.lock:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # Stable record ids
@@ -145,20 +156,24 @@ class EmbeddingStore:
         With ``assign`` (default) unseen fingerprints get fresh ids;
         otherwise an unseen text raises ``KeyError``.
         """
-        ids = np.empty(len(texts), dtype=np.int64)
-        for position, text in enumerate(texts):
-            key = self.fingerprint(text)
-            record_id = self._key_ids.get(key)
-            if record_id is None:
-                if not assign:
-                    raise KeyError(f"text has no assigned record id: {text!r}")
-                record_id = self._assign_id(key)
-            ids[position] = record_id
-        return ids
+        with self.lock:
+            ids = np.empty(len(texts), dtype=np.int64)
+            for position, text in enumerate(texts):
+                key = self.fingerprint(text)
+                record_id = self._key_ids.get(key)
+                if record_id is None:
+                    if not assign:
+                        raise KeyError(
+                            f"text has no assigned record id: {text!r}"
+                        )
+                    record_id = self._assign_id(key)
+                ids[position] = record_id
+            return ids
 
     def has_id(self, record_id: int) -> bool:
         """Whether ``record_id`` is currently assigned to some record."""
-        return int(record_id) in self._id_keys
+        with self.lock:
+            return int(record_id) in self._id_keys
 
     def _assign_id(self, key: str) -> int:
         record_id = self._next_id
@@ -184,9 +199,12 @@ class EmbeddingStore:
         single call streaming consumers need to feed an incremental ANN
         index: ids key the index, vectors are the delta-friendly payload.
         """
-        ids = self.ids_for(texts, assign=True)
-        vectors = self.embed_batch(texts, normalize=normalize, chunk_size=chunk_size)
-        return ids, vectors
+        with self.lock:  # reentrant: one atomic id-assign + encode step
+            ids = self.ids_for(texts, assign=True)
+            vectors = self.embed_batch(
+                texts, normalize=normalize, chunk_size=chunk_size
+            )
+            return ids, vectors
 
     def evict(self, texts: Sequence[str]) -> np.ndarray:
         """Retire records: drop their vectors *and* id assignments.
@@ -197,6 +215,10 @@ class EmbeddingStore:
         indexes rely on to never resurrect deleted entries.  Unknown
         texts raise ``KeyError``.
         """
+        with self.lock:
+            return self._evict_locked(texts)
+
+    def _evict_locked(self, texts: Sequence[str]) -> np.ndarray:
         retired = np.empty(len(texts), dtype=np.int64)
         keys = []
         for position, text in enumerate(texts):
@@ -232,6 +254,10 @@ class EmbeddingStore:
         but does *not* insert the misses — the right mode for transient
         query traffic that must not evict or outgrow the corpus cache.
         """
+        with self.lock:
+            return self._embed_batch_locked(texts, normalize, chunk_size, cache)
+
+    def _embed_batch_locked(self, texts, normalize, chunk_size, cache):
         keys = [self.fingerprint(text) for text in texts]
         resolved: Dict[str, np.ndarray] = {}
         missing: "OrderedDict[str, str]" = OrderedDict()

@@ -20,6 +20,14 @@ import pytest
 TEST_SEED = 0
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "stress: bounded multi-threaded stress tests (kept fast enough for "
+        "tier-1; deselect with -m 'not stress')",
+    )
+
+
 @pytest.fixture
 def seeded_rng() -> np.random.Generator:
     """A fresh, deterministically seeded generator for each test."""

@@ -1,0 +1,173 @@
+"""Property-based tests for the autograd engine (``nn/tensor.py``).
+
+Seeded randomized trials (no extra dependency — shapes and data come
+from the ``seeded_rng`` fixture convention of ``tests/conftest.py``)
+check two properties over the broadcasting arithmetic ops and matmul:
+
+* **Forward**: ``Tensor`` results equal the plain-numpy computation on
+  the same arrays, for random broadcast-compatible shapes and both
+  supported dtypes.
+* **Backward**: analytic gradients match central finite differences of
+  a random scalar projection of the output, in float64 (via
+  ``autograd_dtype`` — float32 finite differences are too coarse).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, autograd_dtype, numerical_gradient
+
+NUM_TRIALS = 6
+GRAD_ATOL = 1e-6
+GRAD_RTOL = 1e-5
+
+
+def random_broadcast_shapes(rng: np.random.Generator):
+    """A pair of random shapes that numpy-broadcast against each other.
+
+    Draws a full shape of 1-3 axes (sizes 1-4), then independently
+    degrades each operand: any axis may be squeezed to 1, and leading
+    axes may be dropped entirely — the two classic broadcast paths.
+    """
+    ndim = int(rng.integers(1, 4))
+    full = [int(rng.integers(1, 5)) for _ in range(ndim)]
+
+    def degrade(shape):
+        out = [1 if rng.random() < 0.3 else dim for dim in shape]
+        drop = int(rng.integers(0, len(out)))  # drop 0..ndim-1 leading axes
+        return tuple(out[drop:])
+
+    return degrade(full), degrade(full)
+
+
+def scalar_loss(output: Tensor, projection: np.ndarray) -> Tensor:
+    """Reduce ``output`` to a scalar through a fixed random projection,
+    so every output element influences the gradient."""
+    return (output * Tensor(projection)).sum()
+
+
+OPS = {
+    "add": (lambda a, b: a + b, lambda a, b: a + b),
+    "mul": (lambda a, b: a * b, lambda a, b: a * b),
+}
+
+
+@pytest.mark.parametrize("op_name", sorted(OPS))
+def test_broadcast_forward_matches_numpy(op_name, seeded_rng):
+    tensor_op, numpy_op = OPS[op_name]
+    for trial in range(NUM_TRIALS):
+        shape_a, shape_b = random_broadcast_shapes(seeded_rng)
+        a = seeded_rng.normal(size=shape_a)
+        b = seeded_rng.normal(size=shape_b)
+        expected = numpy_op(a, b)
+        result = tensor_op(Tensor(a), Tensor(b))
+        assert result.shape == expected.shape, (trial, shape_a, shape_b)
+        np.testing.assert_allclose(
+            result.data, expected.astype(np.float32), rtol=1e-6, atol=1e-6
+        )
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("op_name", sorted(OPS))
+def test_forward_respects_dtype(op_name, dtype, seeded_rng):
+    tensor_op, numpy_op = OPS[op_name]
+    a = seeded_rng.normal(size=(3, 1, 4))
+    b = seeded_rng.normal(size=(2, 4))
+    with autograd_dtype(dtype):
+        result = tensor_op(Tensor(a), Tensor(b))
+    assert result.data.dtype == dtype
+    np.testing.assert_allclose(
+        result.data, numpy_op(a, b).astype(dtype), rtol=1e-6, atol=1e-6
+    )
+
+
+@pytest.mark.parametrize("op_name", sorted(OPS))
+def test_broadcast_gradients_match_finite_differences(op_name, seeded_rng):
+    tensor_op, _ = OPS[op_name]
+    with autograd_dtype(np.float64):
+        for trial in range(NUM_TRIALS):
+            shape_a, shape_b = random_broadcast_shapes(seeded_rng)
+            a_data = seeded_rng.normal(size=shape_a)
+            b_data = seeded_rng.normal(size=shape_b)
+            projection = seeded_rng.normal(
+                size=np.broadcast_shapes(shape_a, shape_b)
+            )
+
+            a = Tensor(a_data.copy(), requires_grad=True)
+            b = Tensor(b_data.copy(), requires_grad=True)
+            scalar_loss(tensor_op(a, b), projection).backward()
+
+            for tensor, other in ((a, b), (b, a)):
+                numeric = numerical_gradient(
+                    lambda t, o=other: scalar_loss(
+                        tensor_op(t, o.detach())
+                        if tensor is a
+                        else tensor_op(o.detach(), t),
+                        projection,
+                    ),
+                    tensor,
+                )
+                np.testing.assert_allclose(
+                    tensor.grad,
+                    numeric,
+                    rtol=GRAD_RTOL,
+                    atol=GRAD_ATOL,
+                    err_msg=f"{op_name} trial {trial} {shape_a}x{shape_b}",
+                )
+
+
+def random_matmul_shapes(rng: np.random.Generator):
+    """Random conformable matmul operand shapes, covering the 2-D case,
+    batched 3-D x 2-D broadcasting, and matrix-vector products."""
+    n, m, p = (int(rng.integers(1, 5)) for _ in range(3))
+    kind = int(rng.integers(0, 4))
+    if kind == 0:
+        return (n, m), (m, p)
+    if kind == 1:
+        batch = int(rng.integers(1, 4))
+        return (batch, n, m), (m, p)
+    if kind == 2:
+        return (n, m), (m,)  # matrix @ vector
+    return (m,), (m, p)  # vector @ matrix
+
+
+def test_matmul_forward_matches_numpy(seeded_rng):
+    for trial in range(NUM_TRIALS):
+        shape_a, shape_b = random_matmul_shapes(seeded_rng)
+        a = seeded_rng.normal(size=shape_a)
+        b = seeded_rng.normal(size=shape_b)
+        expected = np.matmul(a, b)
+        result = Tensor(a).matmul(Tensor(b))
+        assert result.shape == expected.shape, (trial, shape_a, shape_b)
+        np.testing.assert_allclose(
+            result.data, expected.astype(np.float32), rtol=1e-5, atol=1e-5
+        )
+
+
+def test_matmul_gradients_match_finite_differences(seeded_rng):
+    with autograd_dtype(np.float64):
+        for trial in range(NUM_TRIALS):
+            shape_a, shape_b = random_matmul_shapes(seeded_rng)
+            a_data = seeded_rng.normal(size=shape_a)
+            b_data = seeded_rng.normal(size=shape_b)
+            out_shape = np.matmul(a_data, b_data).shape
+            projection = seeded_rng.normal(size=out_shape)
+
+            a = Tensor(a_data.copy(), requires_grad=True)
+            b = Tensor(b_data.copy(), requires_grad=True)
+            scalar_loss(a.matmul(b), projection).backward()
+
+            numeric_a = numerical_gradient(
+                lambda t: scalar_loss(t.matmul(b.detach()), projection), a
+            )
+            numeric_b = numerical_gradient(
+                lambda t: scalar_loss(a.detach().matmul(t), projection), b
+            )
+            np.testing.assert_allclose(
+                a.grad, numeric_a, rtol=GRAD_RTOL, atol=GRAD_ATOL,
+                err_msg=f"matmul lhs trial {trial} {shape_a}x{shape_b}",
+            )
+            np.testing.assert_allclose(
+                b.grad, numeric_b, rtol=GRAD_RTOL, atol=GRAD_ATOL,
+                err_msg=f"matmul rhs trial {trial} {shape_a}x{shape_b}",
+            )

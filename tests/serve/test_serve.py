@@ -543,11 +543,35 @@ class TestStreamingService:
         with pytest.raises(RuntimeError):
             service.delete_records(["x"])
 
-    def test_delete_unknown_record_raises(self, dataset, encoder, backend_name):
+    def test_delete_unindexed_text_is_noop(self, dataset, encoder, backend_name):
+        """Regression: deleting a text that was never indexed (or already
+        deleted) is a documented no-op returning an empty id array — and
+        it must not evict cached-but-unindexed texts from the store."""
         service = self.service(encoder, backend_name)
-        service.index_records(dataset.all_items()[:6])
-        with pytest.raises(KeyError):
-            service.delete_records(["never indexed"])
+        corpus = dataset.all_items()[:6]
+        service.index_records(corpus)
+        size = service.index_size
+
+        retired = service.delete_records(["never indexed"])
+        assert retired.shape == (0,) and retired.dtype == np.int64
+        assert service.index_size == size
+
+        # A text cached by batch traffic but never indexed is skipped too,
+        # and its cache entry survives (eviction symmetry with the index).
+        cached_only = "[COL] name [VAL] cached but never indexed"
+        service.embed_batch([cached_only])
+        assert cached_only in service.store
+        assert service.delete_records([cached_only]).size == 0
+        assert cached_only in service.store
+
+        # Mixed batches retire exactly the indexed subset, once each.
+        real = service.delete_records(
+            [corpus[0], "never indexed", corpus[0], corpus[1]]
+        )
+        assert real.size == 2
+        assert service.index_size == size - 2
+        # Deleting the same records again is now a no-op as well.
+        assert service.delete_records([corpus[0], corpus[1]]).size == 0
 
     def test_deleted_record_never_resurrected(self, dataset, encoder, backend_name):
         service = self.service(encoder, backend_name)
