@@ -1,0 +1,224 @@
+"""Session-reuse benchmark — pretrain-once + 3 tasks vs. 3 standalone
+drivers (no paper table; the economics behind the multi-purpose claim).
+
+The dominant cost of every Sudowoodo workload is contrastive
+pre-training.  The legacy drivers (``SudowoodoPipeline``,
+``SudowoodoCleaner``, ``ColumnMatchingPipeline``) each pre-train their
+own encoder; a :class:`repro.api.SudowoodoSession` pre-trains **once**
+on the union corpus and attaches all three tasks to the shared encoder.
+
+Acceptance target: the session path completes entity matching + error
+correction + column matching in **<= 1/2** the wall-clock of the three
+standalone drivers (>= 2x end-to-end speedup), at comparable task
+metrics (each task's F1 within ``METRIC_TOLERANCE`` of its standalone
+run — the tasks see identical labels; only the pre-training corpus
+differs, union vs. per-task).
+
+Run as a pytest benchmark for full-scale numbers, or as a script for a
+quick CI smoke check::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_session_reuse.py -q -s
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py --smoke
+"""
+
+import argparse
+import time
+import warnings
+
+from repro.api import SudowoodoConfig, SudowoodoSession
+from repro.cleaning import CandidateGenerator, SudowoodoCleaner, cleaning_corpus
+from repro.columns import ColumnMatchingPipeline
+from repro.core import SudowoodoPipeline
+from repro.data.generators import (
+    generate_column_corpus,
+    load_cleaning_dataset,
+    load_em_benchmark,
+)
+from repro.eval import format_table
+
+METRIC_TOLERANCE = 0.35  # |session F1 - standalone F1| per task (small-scale noise)
+
+
+def _config(smoke: bool, **overrides) -> SudowoodoConfig:
+    """Pretraining-heavy, finetuning-light: the regime the paper runs in
+    (3 pretrain epochs over 10k items vs. a few hundred labels)."""
+    defaults = dict(
+        dim=24,
+        num_layers=2,
+        num_heads=4,
+        ffn_dim=48,
+        max_seq_len=32,
+        pair_max_seq_len=56,
+        vocab_size=1200,
+        pretrain_epochs=3 if smoke else 4,
+        pretrain_batch_size=16,
+        mlm_warm_start_epochs=1,
+        finetune_epochs=2 if smoke else 4,
+        finetune_batch_size=16,
+        num_clusters=4,
+        corpus_cap=240 if smoke else 600,
+        multiplier=2,
+        blocking_k=3,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SudowoodoConfig(**defaults)
+
+
+def _datasets(smoke: bool):
+    em = load_em_benchmark(
+        "AB", scale=0.04 if smoke else 0.1, max_table_size=60 if smoke else 150
+    )
+    beers = load_cleaning_dataset("beers", scale=0.03 if smoke else 0.05)
+    columns = generate_column_corpus(60 if smoke else 140, seed=7)
+    return em, beers, columns
+
+
+def run(smoke: bool = False) -> dict:
+    """Time 3 standalone drivers vs. one session serving all 3 tasks."""
+    em, beers, columns = _datasets(smoke)
+    generator = CandidateGenerator().fit(beers)
+    budget = 30 if smoke else 60
+    labeled_rows = 12 if smoke else 20
+    column_k, column_labels = 5, 80 if smoke else 200
+    max_values = 5
+
+    # ----------------------------------------------- standalone drivers
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        start = time.perf_counter()
+        pipeline = SudowoodoPipeline(_config(smoke))
+        em_report = pipeline.run(em, label_budget=budget)
+        cleaner = SudowoodoCleaner(
+            SudowoodoConfig.for_task("clean", **_overridable(_config(smoke)))
+        )
+        cleaner.fit(beers, generator, labeled_rows=labeled_rows)
+        clean_report = cleaner.evaluate()
+        column_pipeline = ColumnMatchingPipeline(
+            SudowoodoConfig.for_task("column_match", **_overridable(_config(smoke))),
+            max_values_per_column=max_values,
+        )
+        column_pipeline.pretrain_on(columns)
+        column_report = column_pipeline.train_and_evaluate(
+            k=column_k, num_labels=column_labels
+        )
+        legacy_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------- one shared session
+    start = time.perf_counter()
+    session = SudowoodoSession(_config(smoke))
+    union_corpus = (
+        em.all_items()
+        + cleaning_corpus(beers, generator)
+        + columns.serialized(max_values=max_values)
+    )
+    session.pretrain(union_corpus)
+    session_match = session.task("match").fit(em, label_budget=budget)
+    session_match_metrics = session_match.evaluate("test")
+    session_clean = session.task("clean").fit(
+        beers, generator, labeled_rows=labeled_rows
+    )
+    session_clean_metrics = session_clean.evaluate()
+    session_columns = session.task(
+        "column_match", max_values_per_column=max_values
+    ).fit(columns, k=column_k, num_labels=column_labels)
+    session_column_metrics = session_columns.evaluate()
+    session_seconds = time.perf_counter() - start
+
+    return {
+        "legacy_seconds": legacy_seconds,
+        "session_seconds": session_seconds,
+        "speedup": legacy_seconds / session_seconds,
+        "pretrain_seconds": session.timer.total("pretrain"),
+        "metrics": {
+            "match": (em_report.f1, session_match_metrics.get("f1", 0.0)),
+            "clean": (clean_report.f1, session_clean_metrics.get("f1", 0.0)),
+            "column_match": (
+                column_report.test_metrics.get("f1", 0.0),
+                session_column_metrics.get("f1", 0.0),
+            ),
+        },
+    }
+
+
+def _overridable(config: SudowoodoConfig) -> dict:
+    """The shared scale knobs, reusable as for_task() overrides."""
+    keys = (
+        "dim", "num_layers", "num_heads", "ffn_dim", "vocab_size",
+        "pretrain_epochs", "pretrain_batch_size", "mlm_warm_start_epochs",
+        "finetune_epochs", "finetune_batch_size", "num_clusters",
+        "corpus_cap", "multiplier", "blocking_k", "seed",
+    )
+    flat = config.to_dict(nested=False)
+    return {key: flat[key] for key in keys}
+
+
+def print_report(results: dict) -> None:
+    rows = [
+        ["3 standalone drivers (3 pretrains)", results["legacy_seconds"]],
+        ["1 session (pretrain once, 3 tasks)", results["session_seconds"]],
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["path", "seconds"],
+            rows,
+            title=(
+                f"End-to-end wall-clock, speedup = {results['speedup']:.1f}x "
+                f"(shared pretrain: {results['pretrain_seconds']:.1f}s)"
+            ),
+        )
+    )
+    metric_rows = [
+        [task, standalone, shared, abs(standalone - shared)]
+        for task, (standalone, shared) in results["metrics"].items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["task", "standalone F1", "session F1", "|delta|"],
+            metric_rows,
+            title="Task metrics, standalone vs. shared session",
+        )
+    )
+
+
+def _assert_targets(results: dict, smoke: bool) -> None:
+    assert results["speedup"] >= 2.0, (
+        f"session path only {results['speedup']:.2f}x faster than three "
+        "standalone drivers (target: >= 2x)"
+    )
+    tolerance = METRIC_TOLERANCE if smoke else 0.2
+    for task, (standalone, shared) in results["metrics"].items():
+        # One-sided: sharing the pretrain must not degrade a task beyond
+        # small-scale noise (doing better than standalone is fine).
+        assert standalone - shared <= tolerance, (
+            f"{task}: session F1 {shared:.3f} degraded vs standalone "
+            f"{standalone:.3f} by more than {tolerance}"
+        )
+
+
+def test_session_reuse(benchmark):
+    from _scale import once
+
+    results = once(benchmark, run)
+    print_report(results)
+    _assert_targets(results, smoke=False)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpora, plumbing + speedup checks (CI-friendly)",
+    )
+    args = parser.parse_args()
+    results = run(smoke=args.smoke)
+    print_report(results)
+    _assert_targets(results, smoke=args.smoke)
+    print("\nsession reuse benchmark: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,15 @@
 """Table IX + Table XIII — discovered column clusters: counts, purity,
-blocking/matching statistics, and fine-grained subtype discoveries."""
+blocking/matching statistics, and fine-grained subtype discoveries.
+
+Runs through the session API: one ``SudowoodoSession`` pre-trained on the
+serialized columns, with the ``column_match`` task providing candidates,
+pair metrics, and same-type edges for type discovery.
+"""
 
 from _scale import SCALE, col_config, once
 
-from repro.columns import ColumnMatchingPipeline, discover_types
+from repro.api import SudowoodoSession
+from repro.columns import discover_types
 from repro.data.generators import generate_column_corpus
 from repro.eval import format_table
 
@@ -11,14 +17,16 @@ from repro.eval import format_table
 def test_table09_13_column_clusters(benchmark):
     def run():
         corpus = generate_column_corpus(SCALE.num_columns, seed=31)
-        pipeline = ColumnMatchingPipeline(col_config(), max_values_per_column=6)
-        pipeline.pretrain_on(corpus)
-        candidates = pipeline.candidate_pairs(k=10)
-        report = pipeline.train_and_evaluate(k=10, num_labels=SCALE.column_labels)
+        session = SudowoodoSession(col_config())
+        session.pretrain(corpus.serialized(max_values=6))
+        task = session.task("column_match", max_values_per_column=6)
+        task.fit(corpus, k=10, num_labels=SCALE.column_labels)
+        report = task.report()
+        candidates = task.pipeline.candidate_pairs(k=10)
         # High-precision edges: connected components amplify false edges,
         # so discovery uses a strict probability cut (Section V-B notes the
         # clustering step controls granularity).
-        edges = pipeline.predict_edges(candidates, threshold=0.97)
+        edges = task.predict(candidates, threshold=0.97)
         clusters = discover_types(corpus, edges)
         return corpus, candidates, report, clusters
 

@@ -8,8 +8,8 @@ its contrastive encoder.  The paper's result: Sudowoodo beats the best
 
 from _scale import FULL, SCALE, col_config, once
 
+from repro.api import SudowoodoSession
 from repro.columns import (
-    ColumnMatchingPipeline,
     SatoFeaturizer,
     SherlockFeaturizer,
     evaluate_feature_baseline,
@@ -23,10 +23,14 @@ CLASSIFIERS = ["LR", "SVM", "GBT", "RF", "SIM"] if FULL else ["LR", "GBT", "SIM"
 def test_table10_12_column_matching(benchmark):
     def run():
         corpus = generate_column_corpus(SCALE.num_columns, seed=31)
-        pipeline = ColumnMatchingPipeline(col_config(), max_values_per_column=6)
-        pipeline.pretrain_on(corpus)
-        candidates = pipeline.candidate_pairs(k=10)
-        splits = pipeline.build_labeled_pairs(candidates, SCALE.column_labels)
+        session = SudowoodoSession(col_config())
+        session.pretrain(corpus.serialized(max_values=6))
+        task = session.task("column_match", max_values_per_column=6)
+        task.fit(corpus, k=10, num_labels=SCALE.column_labels)
+        # The baselines reuse the task's candidate pairs and labeled
+        # splits (both deterministic under the shared seed).
+        candidates = task.pipeline.candidate_pairs(k=10)
+        splits = task.pipeline.build_labeled_pairs(candidates, SCALE.column_labels)
         results = {}
         for featurizer_name, featurizer_factory in [
             ("Sherlock", SherlockFeaturizer),
@@ -37,10 +41,10 @@ def test_table10_12_column_matching(benchmark):
                     corpus, featurizer_factory(), splits, classifier
                 )
                 results[f"{featurizer_name}-{classifier}"] = metrics
-        report = pipeline.train_and_evaluate(k=10, num_labels=SCALE.column_labels)
+        report = task.report()
         results["Sudowoodo"] = {
             "valid": report.valid_metrics,
-            "test": report.test_metrics,
+            "test": report.metrics,
         }
         return results
 

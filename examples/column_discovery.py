@@ -1,41 +1,64 @@
 """Semantic column type discovery (the Table IX / X scenario).
 
-Pre-trains on a corpus of serialized table columns, matches same-type
-column pairs, clusters them with connected components, and shows the
+Opens a :class:`repro.api.SudowoodoSession` pre-trained on a corpus of
+serialized table columns, attaches the ``column_cluster`` task (same-type
+pair matching + connected-component clustering), and shows the
 fine-grained subtypes Sudowoodo discovers beyond the ground-truth labels.
 
 Run:  python examples/column_discovery.py
+      python examples/column_discovery.py --smoke   # CI scale
 """
 
-from repro.columns import ColumnMatchingPipeline, column_config, discover_types
+import argparse
+
+from repro.api import SudowoodoConfig, SudowoodoSession
 from repro.data.generators import generate_column_corpus
 
 
 def main() -> None:
-    corpus = generate_column_corpus(180, seed=7)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config for CI smoke runs (~seconds)")
+    args = parser.parse_args()
+
+    corpus = generate_column_corpus(60 if args.smoke else 180, seed=7)
     print(f"Column corpus: {len(corpus)} columns over "
           f"{len(corpus.type_counts())} ground-truth semantic types")
 
-    config = column_config(
-        dim=32, num_layers=2, num_heads=4, ffn_dim=64,
-        pretrain_epochs=2, finetune_epochs=8, corpus_cap=180, seed=0,
-    )
-    pipeline = ColumnMatchingPipeline(config, max_values_per_column=6)
-    pipeline.pretrain_on(corpus)
+    # The column preset (cell_shuffle DA, longer sequences) now lives on
+    # the config class itself.
+    if args.smoke:
+        config = SudowoodoConfig.for_task(
+            "column_cluster",
+            dim=16, num_layers=1, num_heads=2, ffn_dim=32, vocab_size=800,
+            pretrain_epochs=1, finetune_epochs=2, num_clusters=3,
+            corpus_cap=60, mlm_warm_start_epochs=0, seed=0,
+        )
+        max_values = 5
+    else:
+        config = SudowoodoConfig.for_task(
+            "column_cluster",
+            dim=32, num_layers=2, num_heads=4, ffn_dim=64,
+            pretrain_epochs=2, finetune_epochs=8, corpus_cap=180, seed=0,
+        )
+        max_values = 6
 
-    report = pipeline.train_and_evaluate(k=10, num_labels=200)
-    print(f"\nPair matching: test F1={report.test_metrics['f1']:.3f} "
-          f"({report.num_candidates} candidates, "
-          f"{report.positive_rate:.0%} positive)")
+    # Pretrain once on the serialized columns, then attach type discovery.
+    session = SudowoodoSession(config)
+    session.pretrain(corpus.serialized(max_values=max_values))
+    task = session.task("column_cluster", max_values_per_column=max_values)
+    k, num_labels = (5, 60) if args.smoke else (10, 200)
+    task.fit(corpus, k=k, num_labels=num_labels)
+    report = task.report()
 
-    edges = pipeline.predict_edges(pipeline.candidate_pairs(k=10))
-    clusters = discover_types(corpus, edges)
-    print(f"Discovered {clusters.num_clusters} clusters, "
-          f"purity={clusters.mean_purity:.0%}")
+    print(f"\nPair matching: test F1={report.match_metrics.get('f1', 0.0):.3f}")
+    print(f"Discovered {report.num_clusters} clusters from "
+          f"{report.num_edges} predicted edges, "
+          f"purity={report.metrics['purity']:.0%}")
 
-    if clusters.subtype_discoveries:
+    if report.subtype_discoveries:
         print("\nFine-grained subtypes found (beyond ground-truth types):")
-        for discovery in clusters.subtype_discoveries[:5]:
+        for discovery in report.subtype_discoveries[:5]:
             print(f"  {discovery['type']} -> {discovery['subtype']} "
                   f"(size {discovery['size']}, e.g. {discovery['example']!r})")
 

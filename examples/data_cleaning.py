@@ -1,23 +1,29 @@
 """Error correction on a dirty table (the Table VIII scenario).
 
 Generates a beers-style dirty spreadsheet, builds Baran-style candidate
-corrections, fine-tunes Sudowoodo's matcher on 20 labeled rows, and prints
-a few example repairs alongside the Raha+Baran baseline.
+corrections, opens a :class:`repro.api.SudowoodoSession` pre-trained on the
+serialized cells, and attaches the ``clean`` task: the matcher fine-tunes
+on 20 labeled rows and repairs are printed alongside the Raha+Baran
+baseline.
 
 Run:  python examples/data_cleaning.py
+      python examples/data_cleaning.py --smoke   # CI scale
 """
 
-from repro.cleaning import (
-    CandidateGenerator,
-    SudowoodoCleaner,
-    cleaning_config,
-    run_raha_baran,
-)
+import argparse
+
+from repro.api import SudowoodoConfig, SudowoodoSession
+from repro.cleaning import CandidateGenerator, cleaning_corpus, run_raha_baran
 from repro.data.generators import load_cleaning_dataset
 
 
 def main() -> None:
-    dataset = load_cleaning_dataset("beers", scale=0.05)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config for CI smoke runs (~seconds)")
+    args = parser.parse_args()
+
+    dataset = load_cleaning_dataset("beers", scale=0.03 if args.smoke else 0.05)
     print(f"Dirty table: {len(dataset.dirty)} rows x {len(dataset.schema)} "
           f"columns, {len(dataset.error_cells())} injected errors "
           f"({', '.join(dataset.error_type_names())})")
@@ -27,22 +33,43 @@ def main() -> None:
     print(f"Candidate tools: coverage={stats.coverage:.0%}, "
           f"mean {stats.mean_candidates:.1f} candidates/cell")
 
-    config = cleaning_config(
-        dim=32, num_layers=2, num_heads=4, ffn_dim=64,
-        max_seq_len=40, pair_max_seq_len=80,
-        pretrain_epochs=2, finetune_epochs=8, corpus_cap=200, seed=0,
-    )
-    cleaner = SudowoodoCleaner(config).fit(dataset, generator, labeled_rows=20)
-    report = cleaner.evaluate()
-    print(f"\nSudowoodo EC:  P={report.precision:.2f} R={report.recall:.2f} "
-          f"F1={report.f1:.2f} ({report.repaired} repairs)")
+    # The cleaning preset (span_shuffle DA, pseudo-labeling off) now lives
+    # on the config class itself.
+    if args.smoke:
+        config = SudowoodoConfig.for_task(
+            "clean",
+            dim=16, num_layers=1, num_heads=2, ffn_dim=32,
+            max_seq_len=24, pair_max_seq_len=48, vocab_size=800,
+            pretrain_epochs=1, finetune_epochs=2, num_clusters=3,
+            corpus_cap=64, mlm_warm_start_epochs=0, seed=0,
+        )
+    else:
+        config = SudowoodoConfig.for_task(
+            "clean",
+            dim=32, num_layers=2, num_heads=4, ffn_dim=64,
+            max_seq_len=40, pair_max_seq_len=80,
+            pretrain_epochs=2, finetune_epochs=8, corpus_cap=200, seed=0,
+        )
+
+    # Pretrain once on the serialized cell corpus, then attach the clean
+    # task (which reuses the session's encoder instead of re-pretraining).
+    session = SudowoodoSession(config)
+    session.pretrain(cleaning_corpus(dataset, generator))
+    clean_task = session.task("clean")
+    clean_task.fit(dataset, generator, labeled_rows=12 if args.smoke else 20)
+
+    metrics = clean_task.evaluate()
+    report = clean_task.report()
+    print(f"\nSudowoodo EC:  P={metrics['precision']:.2f} "
+          f"R={metrics['recall']:.2f} F1={metrics['f1']:.2f} "
+          f"({report.repaired} repairs)")
 
     baseline = run_raha_baran(dataset, generator)
     print(f"Raha + Baran:  P={baseline.precision:.2f} "
           f"R={baseline.recall:.2f} F1={baseline.f1:.2f}")
 
     print("\nExample repairs:")
-    repairs = cleaner.correct()
+    repairs = clean_task.predict()
     shown = 0
     for (row, attribute), candidate in repairs.items():
         truth = dataset.ground_truth(row, attribute)

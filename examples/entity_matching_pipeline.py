@@ -2,17 +2,29 @@
 
 Compares full Sudowoodo against SimCLR (no optimizations), Sudowoodo
 without pseudo-labeling, and the Ditto baseline, on a product benchmark.
+Each ablation is its own :class:`repro.api.SudowoodoSession` (the ablations
+change *pre-training*, so the encoder cannot be shared across rows).
 
 Run:  python examples/entity_matching_pipeline.py
+      python examples/entity_matching_pipeline.py --smoke   # CI scale
 """
 
-from repro import SudowoodoConfig, SudowoodoPipeline
+import argparse
+
+from repro.api import SudowoodoConfig, SudowoodoSession
 from repro.baselines import train_ditto
 from repro.data.generators import load_em_benchmark
 from repro.eval import format_table
 
 
-def config(seed: int = 0) -> SudowoodoConfig:
+def config(smoke: bool, seed: int = 0) -> SudowoodoConfig:
+    if smoke:
+        return SudowoodoConfig(
+            dim=16, num_layers=1, num_heads=2, ffn_dim=32,
+            max_seq_len=24, pair_max_seq_len=40, vocab_size=800,
+            pretrain_epochs=1, finetune_epochs=2, num_clusters=3,
+            corpus_cap=64, multiplier=2, mlm_warm_start_epochs=0, seed=seed,
+        )
     return SudowoodoConfig(
         dim=32,
         num_layers=2,
@@ -29,24 +41,38 @@ def config(seed: int = 0) -> SudowoodoConfig:
     )
 
 
+def run_session(dataset, cfg: SudowoodoConfig, budget: int) -> float:
+    """One pretrain + match fit under ``cfg``; returns the test F1."""
+    session = SudowoodoSession(cfg)
+    session.pretrain(dataset.all_items())
+    return session.task("match").fit(dataset, label_budget=budget).report().f1
+
+
 def main() -> None:
-    dataset = load_em_benchmark("DA", scale=0.06, max_table_size=140)
-    budget = 80
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config for CI smoke runs (~seconds)")
+    args = parser.parse_args()
+
+    scale = 0.02 if args.smoke else 0.06
+    table_cap = 40 if args.smoke else 140
+    dataset = load_em_benchmark("DA", scale=scale, max_table_size=table_cap)
+    budget = 20 if args.smoke else 80
     rows = []
 
-    ditto = train_ditto(dataset, budget, config())
+    ditto = train_ditto(dataset, budget, config(args.smoke))
     rows.append(["Ditto", 100 * ditto.f1])
 
-    simclr = SudowoodoPipeline(config().as_simclr()).run(dataset, budget)
-    rows.append(["SimCLR", 100 * simclr.f1])
+    simclr = run_session(dataset, config(args.smoke).as_simclr(), budget)
+    rows.append(["SimCLR", 100 * simclr])
 
-    no_pl = SudowoodoPipeline(
-        config().ablated(use_pseudo_labeling=False)
-    ).run(dataset, budget)
-    rows.append(["Sudowoodo (-PL)", 100 * no_pl.f1])
+    no_pl = run_session(
+        dataset, config(args.smoke).ablated(use_pseudo_labeling=False), budget
+    )
+    rows.append(["Sudowoodo (-PL)", 100 * no_pl])
 
-    full = SudowoodoPipeline(config()).run(dataset, budget)
-    rows.append(["Sudowoodo", 100 * full.f1])
+    full = run_session(dataset, config(args.smoke), budget)
+    rows.append(["Sudowoodo", 100 * full])
 
     print(format_table(["method", "test F1"],
                        rows,

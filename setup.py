@@ -35,7 +35,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
-    install_requires=["numpy>=1.22"],
+    # scipy backs text.tfidf's sparse matrices; networkx backs
+    # columns.clustering's connected components — both are imported
+    # unconditionally by the repro.api surface.
+    install_requires=["numpy>=1.22", "scipy>=1.8", "networkx>=2.6"],
     extras_require={"test": ["pytest", "pytest-benchmark"]},
     classifiers=[
         "Programming Language :: Python :: 3",

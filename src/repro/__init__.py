@@ -4,15 +4,18 @@ Contrastive self-supervised learning for multi-purpose data integration
 and preparation: entity matching (blocking + matching), data cleaning
 (error correction), and semantic column type discovery.
 
-Public API highlights:
+The recommended surface is the session API (``repro.api``): pretrain one
+encoder, attach any number of tasks, serve them all.
 
->>> from repro import SudowoodoConfig, SudowoodoPipeline
+>>> from repro import SudowoodoConfig, SudowoodoSession
 >>> from repro.data.generators import load_em_benchmark
 >>> dataset = load_em_benchmark("AB", scale=0.05)
->>> pipeline = SudowoodoPipeline(SudowoodoConfig(pretrain_epochs=1))
->>> report = pipeline.run(dataset, label_budget=100)  # doctest: +SKIP
+>>> session = SudowoodoSession(SudowoodoConfig(pretrain_epochs=1))
+>>> session.pretrain(dataset.all_items())  # doctest: +SKIP
+>>> report = session.task("match").fit(dataset, label_budget=100).report()  # doctest: +SKIP
 """
 
+from .api import SudowoodoSession, available_tasks, register_task
 from .core import (
     Blocker,
     CandidateSet,
@@ -24,7 +27,7 @@ from .core import (
 )
 from .serve import EmbeddingStore, MatchService, build_backend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Blocker",
@@ -36,6 +39,9 @@ __all__ = [
     "SudowoodoConfig",
     "SudowoodoEncoder",
     "SudowoodoPipeline",
+    "SudowoodoSession",
+    "available_tasks",
     "build_backend",
+    "register_task",
     "__version__",
 ]

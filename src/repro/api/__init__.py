@@ -1,0 +1,77 @@
+"""Unified multi-task session API: pretrain once, serve every workload.
+
+``repro.api`` is the recommended public surface of this reproduction.
+One :class:`SudowoodoSession` owns one contrastively pre-trained encoder
+and its embedding store; any number of registered tasks — entity
+``match``-ing, ``block``-ing, error ``clean``-ing, ``column_match`` and
+``column_cluster`` discovery — attach to it, share those
+representations, and follow one ``fit`` / ``predict`` / ``evaluate`` /
+``report`` lifecycle.  ``session.serve()`` exports any fitted task as a
+thread-safe, shardable streaming service.
+
+>>> from repro.api import SudowoodoSession
+>>> session = SudowoodoSession(config)
+>>> session.pretrain(corpus)                       # the expensive step, once
+>>> result = session.task("match").fit(dataset, label_budget=80).report()
+>>> repairs = session.task("clean").fit(dirty_table).predict()
+>>> service = session.serve("match", num_shards=4)  # doctest: +SKIP
+
+The legacy drivers (``SudowoodoPipeline``, ``SudowoodoCleaner``,
+``ColumnMatchingPipeline``) remain as deprecated shims over this API;
+see ``docs/api.md`` for the migration table.
+"""
+
+from ..core.config import (
+    FinetuneConfig,
+    ModelConfig,
+    PretrainConfig,
+    PseudoLabelConfig,
+    RunConfig,
+    ServeConfig,
+    SudowoodoConfig,
+)
+from .registry import Task, available_tasks, create_task, register_task
+from .results import (
+    BlockResult,
+    CleanResult,
+    ColumnClusterResult,
+    ColumnMatchResult,
+    MatchResult,
+    TaskReport,
+)
+from .session import SudowoodoSession
+from .tasks import (
+    BlockTask,
+    CleanTask,
+    ColumnClusterTask,
+    ColumnMatchTask,
+    MatchTask,
+    SessionTask,
+)
+
+__all__ = [
+    "BlockResult",
+    "BlockTask",
+    "CleanResult",
+    "CleanTask",
+    "ColumnClusterResult",
+    "ColumnClusterTask",
+    "ColumnMatchResult",
+    "ColumnMatchTask",
+    "FinetuneConfig",
+    "MatchResult",
+    "MatchTask",
+    "ModelConfig",
+    "PretrainConfig",
+    "PseudoLabelConfig",
+    "RunConfig",
+    "ServeConfig",
+    "SessionTask",
+    "SudowoodoConfig",
+    "SudowoodoSession",
+    "Task",
+    "TaskReport",
+    "available_tasks",
+    "create_task",
+    "register_task",
+]

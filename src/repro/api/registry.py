@@ -1,0 +1,98 @@
+"""Task registry: the pluggable catalogue behind ``session.task(name)``.
+
+A *task* is a workload that consumes a session's shared pre-trained
+encoder — entity matching, blocking, error correction, column matching,
+type discovery, or anything a downstream package registers.  Tasks follow
+one lifecycle (:class:`Task`): ``fit`` trains on task data, ``predict``
+answers requests, ``evaluate`` computes metrics, ``report`` packages a
+:class:`~repro.api.results.TaskReport`.
+
+>>> @register_task("my_task")
+... class MyTask(SessionTask):
+...     ...
+>>> session.task("my_task")  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Protocol, Type, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import SudowoodoSession
+
+
+@runtime_checkable
+class Task(Protocol):
+    """The structural protocol every registered task implements.
+
+    Attributes
+    ----------
+    name:
+        The registry name the task was created under.
+    session:
+        The owning :class:`~repro.api.session.SudowoodoSession`, whose
+        encoder and embedding store the task shares.
+    """
+
+    name: str
+
+    def fit(self, data: Any, **options: Any) -> "Task":
+        """Train the task on its data; returns ``self`` for chaining."""
+        ...
+
+    def predict(self, *args: Any, **options: Any) -> Any:
+        """Answer task-specific requests with the fitted model."""
+        ...
+
+    def evaluate(self, **options: Any) -> Dict[str, float]:
+        """Metric dict for the fitted task (precision/recall/F1/...)."""
+        ...
+
+    def report(self) -> Any:
+        """A :class:`~repro.api.results.TaskReport` for the fitted task."""
+        ...
+
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_task(name: str) -> Callable[[Type], Type]:
+    """Class decorator adding a task type to the registry under ``name``.
+
+    Registering a name twice raises ``ValueError`` (re-registration is
+    almost always an accidental duplicate import path); the decorated
+    class gains a ``name`` attribute set to the registered name.
+    """
+
+    def decorator(task_cls: Type) -> Type:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"task {name!r} is already registered "
+                f"({_REGISTRY[name].__qualname__})"
+            )
+        task_cls.name = name
+        _REGISTRY[name] = task_cls
+        return task_cls
+
+    return decorator
+
+
+def available_tasks() -> tuple:
+    """Sorted names of every registered task."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_task(name: str, session: "SudowoodoSession", **options: Any):
+    """Instantiate the registered task ``name`` bound to ``session``.
+
+    Unknown names raise ``ValueError`` listing what is registered, so a
+    typo fails at ``session.task()`` time instead of deep inside a run.
+    """
+    try:
+        task_cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown task {name!r}; registered tasks: "
+            f"{', '.join(available_tasks()) or '(none)'}"
+        ) from None
+    return task_cls(session, **options)

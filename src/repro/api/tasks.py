@@ -1,0 +1,486 @@
+"""Built-in session tasks: match, block, clean, column_match, column_cluster.
+
+Each task binds one workload to a :class:`~repro.api.session.SudowoodoSession`
+and follows the common ``fit`` / ``predict`` / ``evaluate`` / ``report``
+lifecycle of the :class:`~repro.api.registry.Task` protocol.  Tasks embed
+through the session's shared :class:`~repro.serve.store.EmbeddingStore`
+(so corpora are encoded once per session) and fine-tune on *checkouts* of
+the shared encoder (so no task ever perturbs another's representations).
+
+Internally the tasks drive the battle-tested workload engines
+(``core.pipeline``, ``cleaning.cleaner``, ``columns.matching``) in
+*attached* mode — the engines skip their private pre-training and adopt
+the session's encoder and store — which is what turns three standalone
+drivers into one system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cleaning.cleaner import SudowoodoCleaner, cleaning_corpus
+from ..columns.clustering import discover_types
+from ..columns.matching import ColumnMatchingPipeline
+from ..core.pipeline import SudowoodoPipeline
+from .registry import register_task
+from .results import (
+    BlockResult,
+    CleanResult,
+    ColumnClusterResult,
+    ColumnMatchResult,
+    MatchResult,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.blocker import CandidateSet
+    from ..core.matcher import PairwiseMatcher
+    from ..data.em_dataset import EMDataset
+    from ..data.generators.cleaning import CleaningDataset
+    from ..data.generators.columns import ColumnCorpus
+    from .session import SudowoodoSession
+
+
+class SessionTask:
+    """Base class for session-bound tasks (see the ``Task`` protocol).
+
+    Subclasses set ``name`` via :func:`~repro.api.registry.register_task`
+    and implement ``fit`` / ``predict`` / ``evaluate`` / ``report``.
+    """
+
+    #: Registry name; assigned by :func:`register_task`.
+    name: str = ""
+
+    def __init__(self, session: "SudowoodoSession") -> None:
+        self.session = session
+        self.fitted = False
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(
+                f"task {self.name!r} is not fitted; call fit() first"
+            )
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The task's fine-tuned pairwise matcher (None when it has none)."""
+        return None
+
+    def corpus_texts(self) -> List[str]:
+        """Serialized records the task indexes when exported via
+        :meth:`SudowoodoSession.serve` (empty before :meth:`fit`)."""
+        return []
+
+
+@register_task("match")
+class MatchTask(SessionTask):
+    """Entity matching over an :class:`~repro.data.em_dataset.EMDataset`:
+    block with the shared embeddings, pseudo-label, fine-tune a matcher
+    on a checkout of the session encoder."""
+
+    def __init__(self, session: "SudowoodoSession") -> None:
+        super().__init__(session)
+        self._pipeline: Optional[SudowoodoPipeline] = None
+
+    def fit(
+        self,
+        dataset: "EMDataset",
+        label_budget: int = 500,
+        head: str = "sudowoodo",
+    ) -> "MatchTask":
+        """Blocking + pseudo-labels + matcher fine-tuning (no pre-training
+        — the session already paid for it)."""
+        self._pipeline = SudowoodoPipeline._attached(
+            self.session.config,
+            dataset,
+            self.session.checkout_encoder(),
+            self.session.store,
+        )
+        self._pipeline.train_matcher(label_budget, head=head)
+        self.fitted = True
+        return self
+
+    @property
+    def pipeline(self) -> SudowoodoPipeline:
+        """The attached workload engine (raises before :meth:`fit`)."""
+        self._require_fitted()
+        assert self._pipeline is not None
+        return self._pipeline
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The fine-tuned pairwise matcher once fitted."""
+        return self._pipeline.matcher if self._pipeline else None
+
+    def predict(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Match probabilities (``(N, 2)`` softmax rows) for text pairs."""
+        self._require_fitted()
+        return self.pipeline.matcher.predict_proba(
+            list(pairs),
+            batch_size=batch_size or self.session.config.serve_batch_size,
+        )
+
+    def evaluate(self, split: str = "test") -> Dict[str, float]:
+        """Precision / recall / F1 on a dataset split."""
+        return self.pipeline.evaluate(split)
+
+    def block(self, k: Optional[int] = None) -> "CandidateSet":
+        """Blocking candidates from the shared embeddings."""
+        return self.pipeline.block(k)
+
+    def corpus_texts(self) -> List[str]:
+        """Table-B records — the searchable side of the live index."""
+        if self._pipeline is None or self._pipeline.dataset is None:
+            return []
+        dataset = self._pipeline.dataset
+        return [dataset.serialize_b(j) for j in range(len(dataset.table_b))]
+
+    def report(self) -> MatchResult:
+        """Benchmark-ready result with test metrics and label accounting."""
+        pipeline = self.pipeline
+        pseudo_quality: Dict[str, float] = {}
+        if self.session.config.use_pseudo_labeling and pipeline._pseudo is not None:
+            pseudo_quality = pipeline.pseudo_label_quality()
+        return MatchResult(
+            task=self.name,
+            metrics=self.evaluate("test"),
+            timings=pipeline.timer.summary(),
+            dataset=pipeline.dataset.name,
+            num_manual_labels=getattr(pipeline, "_num_manual", 0),
+            num_pseudo_labels=getattr(pipeline, "_num_pseudo", 0),
+            pseudo_quality=pseudo_quality,
+        )
+
+
+@register_task("block")
+class BlockTask(SessionTask):
+    """Blocking only: kNN candidate generation over the shared embeddings
+    (no fine-tuning, no labels)."""
+
+    def __init__(self, session: "SudowoodoSession") -> None:
+        super().__init__(session)
+        self._pipeline: Optional[SudowoodoPipeline] = None
+        self._candidates: Optional["CandidateSet"] = None
+        self.k = 0
+
+    def fit(self, dataset: "EMDataset", k: Optional[int] = None) -> "BlockTask":
+        """Embed both tables through the shared store and build the
+        candidate set at ``k`` (default ``config.blocking_k``)."""
+        # No matcher is trained, so the pristine shared encoder is safe
+        # to use directly — no checkout needed.
+        self._pipeline = SudowoodoPipeline._attached(
+            self.session.config,
+            dataset,
+            self.session.encoder,
+            self.session.store,
+        )
+        self.k = k or self.session.config.blocking_k
+        self._candidates = self._pipeline.block(self.k)
+        self.fitted = True
+        return self
+
+    def predict(self, k: Optional[int] = None) -> "CandidateSet":
+        """The candidate set (recomputed when ``k`` differs from fit)."""
+        self._require_fitted()
+        assert self._pipeline is not None and self._candidates is not None
+        if k is None or k == self.k:
+            return self._candidates
+        return self._pipeline.block(k)
+
+    def evaluate(self, **_: Any) -> Dict[str, float]:
+        """Recall over ground-truth matches and CSSR at the fitted k."""
+        candidates = self.predict()
+        assert self._pipeline is not None
+        return {
+            "recall": candidates.recall(self._pipeline.dataset.matches),
+            "cssr": candidates.cssr(),
+        }
+
+    def corpus_texts(self) -> List[str]:
+        """Table-B records — the searchable side of the live index."""
+        if self._pipeline is None or self._pipeline.dataset is None:
+            return []
+        dataset = self._pipeline.dataset
+        return [dataset.serialize_b(j) for j in range(len(dataset.table_b))]
+
+    def report(self) -> BlockResult:
+        """Candidate volume and the recall/CSSR point at the fitted k."""
+        self._require_fitted()
+        assert self._pipeline is not None
+        return BlockResult(
+            task=self.name,
+            metrics=self.evaluate(),
+            timings=self._pipeline.timer.summary(),
+            dataset=self._pipeline.dataset.name,
+            k=self.k,
+            num_candidates=len(self.predict()),
+        )
+
+
+@register_task("clean")
+class CleanTask(SessionTask):
+    """Error correction over a
+    :class:`~repro.data.generators.cleaning.CleaningDataset` (Section
+    V-A): fine-tune the matcher on labeled rows, repair with the
+    best-candidate decision rule."""
+
+    def __init__(
+        self,
+        session: "SudowoodoSession",
+        serialization: str = "contextual",
+        max_candidates_for_matching: int = 6,
+        context_attributes: int = 4,
+    ) -> None:
+        super().__init__(session)
+        self.serialization = serialization
+        self.max_candidates = max_candidates_for_matching
+        self.context_attributes = context_attributes
+        self._cleaner: Optional[SudowoodoCleaner] = None
+        self._repairs: Optional[Dict[Tuple[int, str], str]] = None
+
+    def fit(
+        self,
+        dataset: "CleaningDataset",
+        generator: Any = None,
+        labeled_rows: int = 20,
+    ) -> "CleanTask":
+        """Fine-tune on ``labeled_rows`` uniformly sampled rows, using the
+        session encoder (no per-task pre-training)."""
+        self._cleaner = SudowoodoCleaner._attached(
+            self.session.config,
+            self.session.checkout_encoder(),
+            self.session.store,
+            serialization=self.serialization,
+            max_candidates_for_matching=self.max_candidates,
+            context_attributes=self.context_attributes,
+        )
+        self._cleaner.fit(dataset, generator, labeled_rows=labeled_rows)
+        self._repairs = None
+        self.fitted = True
+        return self
+
+    @property
+    def cleaner(self) -> SudowoodoCleaner:
+        """The attached cleaning engine (raises before :meth:`fit`)."""
+        self._require_fitted()
+        assert self._cleaner is not None
+        return self._cleaner
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The fine-tuned (cell, candidate) matcher once fitted."""
+        return self._cleaner.matcher if self._cleaner else None
+
+    def predict(self) -> Dict[Tuple[int, str], str]:
+        """Proposed repairs: ``(row, attribute) -> corrected value``.
+
+        Full-table matcher inference runs once per fit; later calls
+        (and :meth:`evaluate` / :meth:`report`) reuse the cached repairs.
+        """
+        if self._repairs is None:
+            self._repairs = self.cleaner.correct()
+        return self._repairs
+
+    def evaluate(
+        self, exclude_rows: Optional[Sequence[int]] = None
+    ) -> Dict[str, float]:
+        """Correction precision / recall / F1 against ground truth."""
+        result = self.cleaner.evaluate(
+            exclude_rows=exclude_rows, repairs=self.predict()
+        )
+        return {
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+        }
+
+    def corpus_texts(self) -> List[str]:
+        """Every serialized cell of the dirty table (the cleaning
+        embedding corpus the live index serves)."""
+        if self._cleaner is None or getattr(self._cleaner, "dataset", None) is None:
+            return []
+        return cleaning_corpus(
+            self._cleaner.dataset,
+            serialization=self.serialization,
+            context_attributes=self.context_attributes,
+            include_candidates=False,
+        )
+
+    def report(self) -> CleanResult:
+        """Correction metrics plus the applied repairs."""
+        cleaner = self.cleaner
+        repairs = self.predict()
+        result = cleaner.evaluate(repairs=repairs)
+        return CleanResult(
+            task=self.name,
+            metrics={
+                "precision": result.precision,
+                "recall": result.recall,
+                "f1": result.f1,
+            },
+            timings=cleaner.timer.summary(),
+            dataset=result.dataset,
+            repaired=result.repaired,
+            repairs=repairs,
+        )
+
+
+@register_task("column_match")
+class ColumnMatchTask(SessionTask):
+    """Column matching over a
+    :class:`~repro.data.generators.columns.ColumnCorpus` (Section V-B):
+    kNN candidates among columns, labeled-pair fine-tuning, same-type
+    edge prediction."""
+
+    def __init__(
+        self,
+        session: "SudowoodoSession",
+        max_values_per_column: int = 8,
+    ) -> None:
+        super().__init__(session)
+        self.max_values = max_values_per_column
+        self._pipeline: Optional[ColumnMatchingPipeline] = None
+        self._match_report = None
+
+    def fit(
+        self,
+        corpus: "ColumnCorpus",
+        k: int = 20,
+        num_labels: int = 1000,
+    ) -> "ColumnMatchTask":
+        """Embed columns through the shared store, label candidates, and
+        fine-tune the pair matcher on an encoder checkout."""
+        self._pipeline = ColumnMatchingPipeline._attached(
+            self.session.config,
+            self.session.checkout_encoder(),
+            self.session.store,
+            max_values_per_column=self.max_values,
+        )
+        self._pipeline.pretrain_on(corpus)  # attached: embeds, no pretrain
+        self._match_report = self._pipeline.train_and_evaluate(
+            k=k, num_labels=num_labels
+        )
+        self.fitted = True
+        return self
+
+    @property
+    def pipeline(self) -> ColumnMatchingPipeline:
+        """The attached column-matching engine (raises before fit)."""
+        self._require_fitted()
+        assert self._pipeline is not None
+        return self._pipeline
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The fine-tuned column-pair matcher once fitted."""
+        return self._pipeline.matcher if self._pipeline else None
+
+    def predict(
+        self,
+        candidates: Optional[Sequence[Tuple[int, int]]] = None,
+        threshold: float = 0.9,
+        k: int = 20,
+    ) -> List[Tuple[int, int]]:
+        """Same-type column edges among ``candidates`` (default: the kNN
+        candidate pairs at ``k``)."""
+        pipeline = self.pipeline
+        if candidates is None:
+            candidates = pipeline.candidate_pairs(k=k)
+        return pipeline.predict_edges(candidates, threshold=threshold)
+
+    def evaluate(self, **_: Any) -> Dict[str, float]:
+        """Pair-matching test metrics from the labeled split."""
+        self._require_fitted()
+        return dict(self._match_report.test_metrics)
+
+    def corpus_texts(self) -> List[str]:
+        """The serialized columns the live index serves."""
+        return list(self._pipeline.texts) if self._pipeline is not None else []
+
+    def report(self) -> ColumnMatchResult:
+        """Pair metrics, candidate volume, and the labeled positive rate."""
+        self._require_fitted()
+        report = self._match_report
+        return ColumnMatchResult(
+            task=self.name,
+            metrics=dict(report.test_metrics),
+            timings=self.pipeline.timer.summary(),
+            num_candidates=report.num_candidates,
+            positive_rate=report.positive_rate,
+            valid_metrics=dict(report.valid_metrics),
+        )
+
+
+@register_task("column_cluster")
+class ColumnClusterTask(SessionTask):
+    """Semantic type discovery: column matching plus connected-component
+    clustering of the predicted same-type edges (Tables IX / XIII)."""
+
+    def __init__(
+        self,
+        session: "SudowoodoSession",
+        max_values_per_column: int = 8,
+    ) -> None:
+        super().__init__(session)
+        self._match = ColumnMatchTask(
+            session, max_values_per_column=max_values_per_column
+        )
+        self._edges: List[Tuple[int, int]] = []
+        self._clusters = None
+
+    def fit(
+        self,
+        corpus: "ColumnCorpus",
+        k: int = 20,
+        num_labels: int = 1000,
+        threshold: float = 0.9,
+    ) -> "ColumnClusterTask":
+        """Fit the underlying column matcher, predict edges at
+        ``threshold``, and cluster them into discovered types."""
+        self._match.fit(corpus, k=k, num_labels=num_labels)
+        self._edges = self._match.predict(threshold=threshold, k=k)
+        self._clusters = discover_types(corpus, self._edges)
+        self.fitted = True
+        return self
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The underlying column-pair matcher once fitted."""
+        return self._match.matcher
+
+    def predict(self) -> List[List[int]]:
+        """The discovered multi-column clusters (column index lists)."""
+        self._require_fitted()
+        return self._clusters.clusters
+
+    def evaluate(self, **_: Any) -> Dict[str, float]:
+        """Cluster purity and count, plus the pair-matching F1."""
+        self._require_fitted()
+        return {
+            "purity": self._clusters.mean_purity,
+            "num_clusters": float(self._clusters.num_clusters),
+            "f1": self._match.evaluate().get("f1", 0.0),
+        }
+
+    def corpus_texts(self) -> List[str]:
+        """The serialized columns the live index serves."""
+        return self._match.corpus_texts()
+
+    def report(self) -> ColumnClusterResult:
+        """Clusters, purity, subtype discoveries, and match metrics."""
+        self._require_fitted()
+        return ColumnClusterResult(
+            task=self.name,
+            metrics=self.evaluate(),
+            timings=self._match.pipeline.timer.summary(),
+            num_clusters=self._clusters.num_clusters,
+            num_edges=len(self._edges),
+            clusters=self._clusters.clusters,
+            subtype_discoveries=self._clusters.subtype_discoveries,
+            match_metrics=self._match.evaluate(),
+        )

@@ -14,7 +14,13 @@ from .candidates import (
     TypoTool,
     ValueFrequencyTool,
 )
-from .cleaner import CleaningReport, SudowoodoCleaner, cleaning_config
+from .cleaner import (
+    CleaningReport,
+    SudowoodoCleaner,
+    cleaning_config,
+    cleaning_corpus,
+    serialize_cell,
+)
 
 __all__ = [
     "BaranCorrector",
@@ -28,6 +34,8 @@ __all__ = [
     "TypoTool",
     "ValueFrequencyTool",
     "cleaning_config",
+    "cleaning_corpus",
     "run_perfect_ed_baran",
     "run_raha_baran",
+    "serialize_cell",
 ]

@@ -12,6 +12,7 @@ Section V-A), matching the paper's setting.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,7 +25,6 @@ from ..core.matcher import (
     finetune_matcher,
 )
 from ..core.pipeline import _apply_class_balance
-from ..core.pretrain import pretrain
 from ..data.generators.cleaning import CleaningDataset
 from ..data.records import serialize_cell_context_free, serialize_row_contextual
 from ..serve import EmbeddingStore
@@ -34,15 +34,98 @@ from .candidates import CandidateGenerator
 
 def cleaning_config(**overrides) -> SudowoodoConfig:
     """The paper's EC configuration: span_shuffle DA with span cutoff, all
-    pre-training optimizations on, pseudo-labeling off."""
-    defaults = dict(
-        da_operator="span_shuffle",
-        cutoff_kind="span",
-        use_pseudo_labeling=False,
-        positive_ratio=0.10,
+    pre-training optimizations on, pseudo-labeling off.
+
+    Import shim for :meth:`SudowoodoConfig.for_task`\\ ``("clean")`` — the
+    per-task presets now live in one place on the config class.
+    """
+    return SudowoodoConfig.for_task("clean", **overrides)
+
+
+def context_schema(
+    dataset: CleaningDataset, attribute: str, context_attributes: int = 4
+) -> List[str]:
+    """The serialized attribute window for ``attribute``.
+
+    The paper's contextual scheme serializes the whole row; at CPU scale
+    we trim to the target attribute plus its FD determinants and a few
+    leading attributes (the same role the LM's 512-token truncation plays
+    at full scale).
+    """
+    window: List[str] = []
+    for determinant, dependents in dataset.dependencies.items():
+        if attribute in dependents and determinant not in window:
+            window.append(determinant)
+    if attribute not in window:
+        window.append(attribute)
+    for other in dataset.schema:
+        if len(window) >= context_attributes + 1:
+            break
+        if other not in window:
+            window.append(other)
+    # Keep schema order for determinism.
+    return [a for a in dataset.schema if a in window]
+
+
+def serialize_cell(
+    dataset: CleaningDataset,
+    row: int,
+    attribute: str,
+    value: str,
+    serialization: str = "contextual",
+    context_attributes: int = 4,
+) -> str:
+    """Serialize one (cell, candidate value) in the paper's EC scheme."""
+    if serialization == "context_free":
+        return serialize_cell_context_free(attribute, value)
+    return serialize_row_contextual(
+        dataset.dirty[row],
+        context_schema(dataset, attribute, context_attributes),
+        attribute,
+        value,
     )
-    defaults.update(overrides)
-    return SudowoodoConfig(**defaults)
+
+
+def cleaning_corpus(
+    dataset: CleaningDataset,
+    generator: Optional[CandidateGenerator] = None,
+    serialization: str = "contextual",
+    context_attributes: int = 4,
+    include_candidates: bool = True,
+) -> List[str]:
+    """Unlabeled EC pre-training corpus: every serialized cell plus its
+    top candidate corrections — what a :class:`repro.api.SudowoodoSession`
+    should pre-train on before fitting the ``clean`` task.
+
+    ``include_candidates=False`` returns only the table's cells (one text
+    per ``(row, attribute)``) — the corpus a live serving index holds.
+    """
+    if include_candidates:
+        generator = generator or CandidateGenerator().fit(dataset)
+    corpus: List[str] = []
+    for row in range(len(dataset.dirty)):
+        for attribute in dataset.schema:
+            value = dataset.dirty[row].get(attribute)
+            corpus.append(
+                serialize_cell(
+                    dataset, row, attribute, value, serialization, context_attributes
+                )
+            )
+            if not include_candidates:
+                continue
+            for candidate in generator.candidates(row, attribute)[:3]:
+                if candidate != value:
+                    corpus.append(
+                        serialize_cell(
+                            dataset,
+                            row,
+                            attribute,
+                            candidate,
+                            serialization,
+                            context_attributes,
+                        )
+                    )
+    return corpus
 
 
 def _best_threshold(probabilities: np.ndarray, labels: np.ndarray) -> float:
@@ -73,7 +156,14 @@ class CleaningReport:
 
 
 class SudowoodoCleaner:
-    """Error-correction pipeline over a :class:`CleaningDataset`."""
+    """Error-correction pipeline over a :class:`CleaningDataset`.
+
+    .. deprecated::
+        ``SudowoodoCleaner`` is now a shim over
+        :class:`repro.api.SudowoodoSession`; new code should use
+        ``session.task("clean")`` (see ``docs/api.md``), which shares one
+        pre-training run across every workload.
+    """
 
     def __init__(
         self,
@@ -81,6 +171,23 @@ class SudowoodoCleaner:
         serialization: str = "contextual",
         max_candidates_for_matching: int = 6,
         context_attributes: int = 4,
+    ) -> None:
+        warnings.warn(
+            "SudowoodoCleaner is deprecated; use repro.api.SudowoodoSession "
+            "and session.task('clean') instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init_state(
+            config, serialization, max_candidates_for_matching, context_attributes
+        )
+
+    def _init_state(
+        self,
+        config: Optional[SudowoodoConfig],
+        serialization: str,
+        max_candidates_for_matching: int,
+        context_attributes: int,
     ) -> None:
         if serialization not in ("context_free", "contextual"):
             raise ValueError("serialization must be context_free or contextual")
@@ -91,53 +198,50 @@ class SudowoodoCleaner:
         self.timer = Timer()
         self.matcher: Optional[PairwiseMatcher] = None
         self.store: Optional[EmbeddingStore] = None
+        # Session-attached mode: a pre-trained encoder (a private clone,
+        # safe to fine-tune) plus the session's shared store; fit() then
+        # skips pre-training and never clears the shared cache.
+        self._adopted_encoder = None
+        self._shared_store = False
+
+    @classmethod
+    def _attached(
+        cls,
+        config: SudowoodoConfig,
+        encoder,
+        store: EmbeddingStore,
+        serialization: str = "contextual",
+        max_candidates_for_matching: int = 6,
+        context_attributes: int = 4,
+    ) -> "SudowoodoCleaner":
+        """Session-internal constructor: adopt a pre-trained encoder and a
+        shared embedding store instead of pre-training (no deprecation
+        warning — this is the engine behind ``session.task("clean")``)."""
+        cleaner = cls.__new__(cls)
+        cleaner._init_state(
+            config, serialization, max_candidates_for_matching, context_attributes
+        )
+        cleaner._adopted_encoder = encoder
+        cleaner.store = store
+        cleaner._shared_store = True
+        return cleaner
 
     # ------------------------------------------------------------------
     def _context_schema(self, dataset: CleaningDataset, attribute: str) -> List[str]:
-        """The serialized attribute window for ``attribute``.
-
-        The paper's contextual scheme serializes the whole row; at CPU
-        scale we trim to the target attribute plus its FD determinants and
-        a few leading attributes (the same role the LM's 512-token
-        truncation plays at full scale).
-        """
-        window: List[str] = []
-        for determinant, dependents in dataset.dependencies.items():
-            if attribute in dependents and determinant not in window:
-                window.append(determinant)
-        if attribute not in window:
-            window.append(attribute)
-        for other in dataset.schema:
-            if len(window) >= self.context_attributes + 1:
-                break
-            if other not in window:
-                window.append(other)
-        # Keep schema order for determinism.
-        return [a for a in dataset.schema if a in window]
+        """The serialized attribute window (see :func:`context_schema`)."""
+        return context_schema(dataset, attribute, self.context_attributes)
 
     def _serialize_cell(self, dataset, row: int, attribute: str, value: str) -> str:
-        if self.serialization == "context_free":
-            return serialize_cell_context_free(attribute, value)
-        return serialize_row_contextual(
-            dataset.dirty[row],
-            self._context_schema(dataset, attribute),
-            attribute,
-            value,
+        return serialize_cell(
+            dataset, row, attribute, value, self.serialization,
+            self.context_attributes,
         )
 
     def _corpus(self, dataset: CleaningDataset, generator: CandidateGenerator):
-        """Unlabeled pre-training corpus: every cell plus its candidates."""
-        corpus = []
-        for row in range(len(dataset.dirty)):
-            for attribute in dataset.schema:
-                value = dataset.dirty[row].get(attribute)
-                corpus.append(self._serialize_cell(dataset, row, attribute, value))
-                for candidate in generator.candidates(row, attribute)[:3]:
-                    if candidate != value:
-                        corpus.append(
-                            self._serialize_cell(dataset, row, attribute, candidate)
-                        )
-        return corpus
+        """Unlabeled pre-training corpus (see :func:`cleaning_corpus`)."""
+        return cleaning_corpus(
+            dataset, generator, self.serialization, self.context_attributes
+        )
 
     # ------------------------------------------------------------------
     def fit(
@@ -156,22 +260,28 @@ class SudowoodoCleaner:
         self.generator = generator or CandidateGenerator().fit(dataset)
         rngs = RngStream(self.config.seed)
 
-        with self.timer.section("pretrain"):
-            corpus = self._corpus(dataset, self.generator)
-            config = self.config
-            if not contrastive:
-                config = config.ablated()  # copy
-                config.pretrain_epochs = 0
-            result = pretrain(corpus, config)
-        self.encoder = result.encoder
-        # Candidate corrections repeat heavily across cells (they come from
-        # shared domain vocabularies), so pruning goes through a cached
-        # embedding store instead of re-encoding per cell.
-        self.store = EmbeddingStore(
-            self.encoder,
-            batch_size=self.config.serve_batch_size,
-            capacity=self.config.embed_cache_capacity,
-        )
+        if self._adopted_encoder is not None:
+            # Session-attached: the encoder is already pre-trained (on the
+            # session's corpus) and the shared store serves the cache.
+            self.encoder = self._adopted_encoder
+        else:
+            from ..api.session import SudowoodoSession  # deferred: api imports cleaning
+
+            with self.timer.section("pretrain"):
+                corpus = self._corpus(dataset, self.generator)
+                config = self.config
+                if not contrastive:
+                    config = config.ablated()  # copy
+                    config.pretrain_epochs = 0
+                # The session is the one pre-training implementation; this
+                # driver adopts its encoder and store.  Candidate
+                # corrections repeat heavily across cells (they come from
+                # shared domain vocabularies), so pruning goes through the
+                # cached embedding store instead of re-encoding per cell.
+                session = SudowoodoSession(config)
+                session.pretrain(corpus)
+            self.encoder = session.encoder
+            self.store = session.store
 
         rng = rngs.get("labeled-rows")
         num_rows = len(dataset.dirty)
@@ -224,9 +334,13 @@ class SudowoodoCleaner:
         with self.timer.section("finetune"):
             self.matcher = PairwiseMatcher(self.encoder)
             finetune_matcher(self.matcher, examples, examples, self.config)
-        # Fine-tuning mutated the encoder in place; drop any cached
-        # vectors so _prune embeds with the final weights only.
-        self.store.clear()
+        if not self._shared_store:
+            # Fine-tuning mutated the encoder in place; drop any cached
+            # vectors so _prune embeds with the final weights only.  A
+            # session-shared store is exempt: it wraps the session's
+            # pristine encoder (this cleaner fine-tuned a private clone),
+            # so its cache is still valid for every other task.
+            self.store.clear()
 
         # The labeled rows give an unbiased estimate of the *recoverable*
         # error rate; the apply phase repairs the same fraction of cells,
@@ -321,10 +435,19 @@ class SudowoodoCleaner:
         return [candidates[int(i)] for i in sorted(keep)]
 
     # ------------------------------------------------------------------
-    def evaluate(self, exclude_rows: Optional[Sequence[int]] = None) -> CleaningReport:
+    def evaluate(
+        self,
+        exclude_rows: Optional[Sequence[int]] = None,
+        repairs: Optional[Dict[Tuple[int, str], str]] = None,
+    ) -> CleaningReport:
         """Correction P/R/F1 against ground truth (Baran's protocol):
-        precision over repaired cells, recall over erroneous cells."""
-        repairs = self.correct()
+        precision over repaired cells, recall over erroneous cells.
+
+        Pass precomputed ``repairs`` (from :meth:`correct`) to score them
+        without re-running full-table matcher inference.
+        """
+        if repairs is None:
+            repairs = self.correct()
         dataset = self.dataset
         excluded = set(exclude_rows or ())
         correct_repairs = 0

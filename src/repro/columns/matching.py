@@ -9,6 +9,7 @@ ground-truth semantic type), and fine-tuning the pairwise matcher.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -22,7 +23,6 @@ from ..core.matcher import (
     finetune_matcher,
 )
 from ..core.pipeline import _apply_class_balance
-from ..core.pretrain import pretrain
 from ..data.generators.columns import ColumnCorpus
 from ..serve import EmbeddingStore, build_backend
 from ..utils import RngStream, Timer
@@ -30,16 +30,12 @@ from ..utils import RngStream, Timer
 
 def column_config(**overrides) -> SudowoodoConfig:
     """Column-matching configuration: attribute-level DA operators don't
-    apply; cell_shuffle replaces them (Section V-B)."""
-    defaults = dict(
-        da_operator="cell_shuffle",
-        cutoff_kind="span",
-        use_pseudo_labeling=False,
-        max_seq_len=40,
-        pair_max_seq_len=72,
-    )
-    defaults.update(overrides)
-    return SudowoodoConfig(**defaults)
+    apply; cell_shuffle replaces them (Section V-B).
+
+    Import shim for :meth:`SudowoodoConfig.for_task`\\ ``("column_match")``
+    — the per-task presets now live in one place on the config class.
+    """
+    return SudowoodoConfig.for_task("column_match", **overrides)
 
 
 @dataclass
@@ -52,32 +48,82 @@ class ColumnMatchReport:
 
 
 class ColumnMatchingPipeline:
-    """Pretrain -> block -> label -> fine-tune over a column corpus."""
+    """Pretrain -> block -> label -> fine-tune over a column corpus.
+
+    .. deprecated::
+        ``ColumnMatchingPipeline`` is now a shim over
+        :class:`repro.api.SudowoodoSession`; new code should use
+        ``session.task("column_match")`` or
+        ``session.task("column_cluster")`` (see ``docs/api.md``), which
+        share one pre-training run across every workload.
+    """
 
     def __init__(
         self,
         config: Optional[SudowoodoConfig] = None,
         max_values_per_column: int = 8,
     ) -> None:
+        warnings.warn(
+            "ColumnMatchingPipeline is deprecated; use "
+            "repro.api.SudowoodoSession and session.task('column_match') "
+            "instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init_state(config, max_values_per_column)
+
+    def _init_state(
+        self, config: Optional[SudowoodoConfig], max_values_per_column: int
+    ) -> None:
         self.config = config or column_config()
         self.max_values = max_values_per_column
         self.timer = Timer()
         self.matcher: Optional[PairwiseMatcher] = None
         self.store: Optional[EmbeddingStore] = None
+        # Session-attached mode: a pre-trained encoder (a private clone,
+        # safe to fine-tune) plus the session's shared store;
+        # pretrain_on() then only embeds and never clears the shared cache.
+        self._adopted_encoder = None
+        self._shared_store = False
+
+    @classmethod
+    def _attached(
+        cls,
+        config: SudowoodoConfig,
+        encoder,
+        store: EmbeddingStore,
+        max_values_per_column: int = 8,
+    ) -> "ColumnMatchingPipeline":
+        """Session-internal constructor: adopt a pre-trained encoder and a
+        shared embedding store instead of pre-training (no deprecation
+        warning — this is the engine behind ``session.task("column_match")``)."""
+        pipeline = cls.__new__(cls)
+        pipeline._init_state(config, max_values_per_column)
+        pipeline._adopted_encoder = encoder
+        pipeline.store = store
+        pipeline._shared_store = True
+        return pipeline
 
     # ------------------------------------------------------------------
     def pretrain_on(self, corpus: ColumnCorpus) -> "ColumnMatchingPipeline":
-        """Pre-train on serialized columns and warm the embedding store."""
+        """Pre-train on serialized columns and warm the embedding store.
+
+        In session-attached mode pre-training is skipped (the session
+        already paid for it) and only the embed step runs."""
         self.corpus = corpus
         self.texts = corpus.serialized(max_values=self.max_values)
-        with self.timer.section("pretrain"):
-            result = pretrain(self.texts, self.config)
-        self.encoder = result.encoder
-        self.store = EmbeddingStore(
-            self.encoder,
-            batch_size=self.config.serve_batch_size,
-            capacity=self.config.embed_cache_capacity,
-        )
+        if self._adopted_encoder is not None:
+            self.encoder = self._adopted_encoder
+        else:
+            from ..api.session import SudowoodoSession  # deferred: api imports columns
+
+            with self.timer.section("pretrain"):
+                # The session is the one pre-training implementation; this
+                # driver adopts its encoder and store.
+                session = SudowoodoSession(self.config)
+                session.pretrain(self.texts)
+            self.encoder = session.encoder
+            self.store = session.store
         with self.timer.section("embed"):
             raw = self.store.embed_batch(self.texts)
             raw = raw - raw.mean(axis=0, keepdims=True)
@@ -153,9 +199,11 @@ class ColumnMatchingPipeline:
         self.matcher = PairwiseMatcher(self.encoder)
         with self.timer.section("finetune"):
             finetune_matcher(self.matcher, train, valid, self.config)
-        if self.store is not None:
+        if self.store is not None and not self._shared_store:
             # Fine-tuning mutated the shared encoder; invalidate cached
             # vectors so any MatchService reusing this store re-encodes.
+            # A session-shared store is exempt: the fine-tuned encoder is
+            # a private clone, so the shared cache is still pristine.
             self.store.clear()
         with self.timer.section("evaluate"):
             valid_metrics = evaluate_f1(

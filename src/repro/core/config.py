@@ -11,12 +11,23 @@ switches mirror the ablation names of Table V:
 
 With all four off, the pipeline degenerates to plain SimCLR — the paper's
 base ablation row.
+
+The flat :class:`SudowoodoConfig` dataclass remains the single source of
+truth (every existing call site keeps working), but its fields are also
+grouped into **namespaced sections** — :class:`ModelConfig`,
+:class:`PretrainConfig`, :class:`FinetuneConfig`,
+:class:`PseudoLabelConfig`, :class:`ServeConfig`, :class:`RunConfig` —
+readable via the ``config.model`` / ``config.pretrain`` / ... properties,
+composable via :meth:`SudowoodoConfig.from_parts`, and round-trippable
+via :meth:`SudowoodoConfig.to_dict` / :meth:`SudowoodoConfig.from_dict`.
+Per-task presets (the defaults the cleaning and column drivers used to
+duplicate) live in :meth:`SudowoodoConfig.for_task`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 @dataclass
@@ -130,6 +141,143 @@ class SudowoodoConfig:
             use_barlow_twins=False,
         )
 
+    # ------------------------------------------------------------------
+    # Namespaced sections (views over the flat fields)
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> "ModelConfig":
+        """The encoder-architecture section as a :class:`ModelConfig`."""
+        return ModelConfig(**self._section_values("model"))
+
+    @property
+    def pretrain(self) -> "PretrainConfig":
+        """The contrastive pre-training section as a :class:`PretrainConfig`."""
+        return PretrainConfig(**self._section_values("pretrain"))
+
+    @property
+    def finetune(self) -> "FinetuneConfig":
+        """The matcher fine-tuning section as a :class:`FinetuneConfig`."""
+        return FinetuneConfig(**self._section_values("finetune"))
+
+    @property
+    def pseudo(self) -> "PseudoLabelConfig":
+        """The pseudo-labeling section as a :class:`PseudoLabelConfig`."""
+        return PseudoLabelConfig(**self._section_values("pseudo"))
+
+    @property
+    def serve(self) -> "ServeConfig":
+        """The serving/ANN section as a :class:`ServeConfig`."""
+        return ServeConfig(**self._section_values("serve"))
+
+    @property
+    def run(self) -> "RunConfig":
+        """The cross-cutting run section (seed, blocking k)."""
+        return RunConfig(**self._section_values("run"))
+
+    def _section_values(self, section: str) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in CONFIG_SECTIONS[section]}
+
+    @classmethod
+    def from_parts(
+        cls,
+        model: Optional["ModelConfig"] = None,
+        pretrain: Optional["PretrainConfig"] = None,
+        finetune: Optional["FinetuneConfig"] = None,
+        pseudo: Optional["PseudoLabelConfig"] = None,
+        serve: Optional["ServeConfig"] = None,
+        run: Optional["RunConfig"] = None,
+        **overrides: Any,
+    ) -> "SudowoodoConfig":
+        """Compose a flat config from namespaced sub-configs.
+
+        Omitted sections use their defaults; flat ``overrides`` are
+        applied last and win over section values.
+        """
+        values: Dict[str, Any] = {}
+        for part in (model, pretrain, finetune, pseudo, serve, run):
+            if part is not None:
+                values.update(
+                    {f.name: getattr(part, f.name) for f in fields(part)}
+                )
+        unknown = set(overrides) - _FIELD_NAMES
+        if unknown:
+            raise ValueError(
+                f"unknown config fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(_FIELD_NAMES)}"
+            )
+        values.update(overrides)
+        return cls(**values)
+
+    # ------------------------------------------------------------------
+    # Dict round-tripping
+    # ------------------------------------------------------------------
+    def to_dict(self, nested: bool = True) -> Dict[str, Any]:
+        """Serialize to a plain dict.
+
+        With ``nested`` (default) fields are grouped by section —
+        ``{"model": {...}, "pretrain": {...}, ...}`` — the shape
+        :meth:`from_dict` round-trips; ``nested=False`` returns the flat
+        field mapping.
+        """
+        if not nested:
+            return {name: getattr(self, name) for name in _FIELD_NAMES_ORDERED}
+        return {
+            section: dict(self._section_values(section))
+            for section in CONFIG_SECTIONS
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "SudowoodoConfig":
+        """Build a config from a dict of flat fields, nested sections, or
+        a mix of both; unknown field or section names raise ``ValueError``.
+
+        Round-trip guarantee: ``from_dict(cfg.to_dict()) == cfg``.
+        """
+        values: Dict[str, Any] = {}
+        for key, value in mapping.items():
+            if key in CONFIG_SECTIONS:
+                if not isinstance(value, Mapping):
+                    raise ValueError(
+                        f"section {key!r} must map field names to values"
+                    )
+                for name, inner in value.items():
+                    if name not in CONFIG_SECTIONS[key]:
+                        raise ValueError(
+                            f"unknown field {name!r} in section {key!r}; "
+                            f"valid fields: {sorted(CONFIG_SECTIONS[key])}"
+                        )
+                    values[name] = inner
+            elif key in _FIELD_NAMES:
+                values[key] = value
+            else:
+                raise ValueError(
+                    f"unknown config key {key!r}; expected a field name or "
+                    f"one of the sections {sorted(CONFIG_SECTIONS)}"
+                )
+        return cls(**values)
+
+    # ------------------------------------------------------------------
+    # Per-task presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_task(cls, task: str, **overrides: Any) -> "SudowoodoConfig":
+        """The paper's per-task configuration preset for ``task``.
+
+        Known tasks are the registered session tasks (``"match"``,
+        ``"block"``, ``"clean"``, ``"column_match"``,
+        ``"column_cluster"``); ``overrides`` are applied on top of the
+        preset.  This replaces the old per-module ``cleaning_config()`` /
+        ``column_config()`` helper copies.
+        """
+        if task not in TASK_CONFIG_DEFAULTS:
+            raise ValueError(
+                f"unknown task {task!r}; valid tasks: "
+                f"{sorted(TASK_CONFIG_DEFAULTS)}"
+            )
+        values = dict(TASK_CONFIG_DEFAULTS[task])
+        values.update(overrides)
+        return cls(**values)
+
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range hyper-parameters."""
         if not 0.0 < self.temperature <= 1.0:
@@ -140,8 +288,22 @@ class SudowoodoConfig:
             raise ValueError("positive_ratio must be in (0, 1)")
         if self.multiplier < 1:
             raise ValueError("multiplier must be >= 1")
-        if self.cutoff_kind not in ("token", "feature", "span", "none"):
-            raise ValueError(f"unknown cutoff kind {self.cutoff_kind!r}")
+        if self.pooling not in VALID_POOLINGS:
+            raise ValueError(
+                f"unknown pooling {self.pooling!r}; "
+                f"valid options: {', '.join(sorted(VALID_POOLINGS))}"
+            )
+        if self.cutoff_kind not in VALID_CUTOFF_KINDS:
+            raise ValueError(
+                f"unknown cutoff kind {self.cutoff_kind!r}; "
+                f"valid options: {', '.join(sorted(VALID_CUTOFF_KINDS))}"
+            )
+        valid_operators = _valid_da_operators()
+        if self.da_operator not in valid_operators:
+            raise ValueError(
+                f"unknown da_operator {self.da_operator!r}; "
+                f"valid options: {', '.join(sorted(valid_operators))}"
+            )
         if not self.ann_backend:
             raise ValueError("ann_backend must be a non-empty backend name")
         if self.lsh_num_tables < 1 or self.lsh_num_bits < 1:
@@ -162,3 +324,171 @@ class SudowoodoConfig:
             raise ValueError("coalesce_window_ms must be >= 0")
         if self.max_coalesce_batch < 1:
             raise ValueError("max_coalesce_batch must be positive")
+
+
+# ----------------------------------------------------------------------
+# Namespaced sub-configs
+# ----------------------------------------------------------------------
+@dataclass
+class ModelConfig:
+    """Encoder architecture: Transformer dimensions, pooling, projector."""
+
+    dim: int = 48
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_dim: int = 96
+    max_seq_len: int = 48
+    pair_max_seq_len: int = 64
+    vocab_size: int = 1500
+    dropout: float = 0.05
+    projector_dim: int = 48
+    pooling: str = "mean"
+
+
+@dataclass
+class PretrainConfig:
+    """Contrastive pre-training: epochs, DA operators, cutoff, loss mix,
+    and the Cls/Cut/RR optimization switches of Table V."""
+
+    pretrain_epochs: int = 3
+    pretrain_batch_size: int = 16
+    pretrain_lr: float = 5e-4
+    temperature: float = 0.07
+    da_operator: str = "token_del"
+    cutoff_kind: str = "span"
+    cutoff_ratio: float = 0.05
+    num_clusters: int = 10
+    alpha_bt: float = 1e-3
+    lambda_bt: float = 3.9e-3
+    corpus_cap: Optional[int] = 10_000
+    mlm_warm_start_epochs: int = 1
+    use_cluster_sampling: bool = True
+    use_cutoff: bool = True
+    use_barlow_twins: bool = True
+
+
+@dataclass
+class FinetuneConfig:
+    """Pairwise-matcher fine-tuning: step budget, learning rates, class
+    balancing."""
+
+    finetune_epochs: int = 15
+    finetune_batch_size: int = 16
+    finetune_lr: float = 1e-4
+    head_lr: float = 5e-2
+    pseudo_label_weight: float = 0.5
+    class_balance: bool = True
+
+
+@dataclass
+class PseudoLabelConfig:
+    """Pseudo-labeling (Section III-C): positive ratio rho, the label
+    multiplier, and the PL switch."""
+
+    positive_ratio: float = 0.10
+    multiplier: int = 8
+    pseudo_positive_fraction: float = 0.3
+    use_pseudo_labeling: bool = True
+
+
+@dataclass
+class ServeConfig:
+    """Serving layer: ANN backend selection, LSH/HNSW knobs, embedding
+    store, and sharding/coalescing."""
+
+    ann_backend: str = "exact"
+    lsh_num_tables: int = 16
+    lsh_num_bits: int = 8
+    hnsw_m: int = 16
+    hnsw_ef_construction: int = 120
+    hnsw_ef_search: int = 12
+    serve_batch_size: int = 64
+    embed_cache_capacity: Optional[int] = None
+    num_shards: int = 1
+    coalesce_window_ms: float = 2.0
+    max_coalesce_batch: int = 64
+
+
+@dataclass
+class RunConfig:
+    """Cross-cutting run parameters: root seed and default blocking k."""
+
+    blocking_k: int = 10
+    seed: int = 0
+
+
+#: Section name -> the flat :class:`SudowoodoConfig` fields it owns.
+#: Derived from the sub-config dataclasses so the two can never drift.
+CONFIG_SECTIONS: Dict[str, Tuple[str, ...]] = {
+    "model": tuple(f.name for f in fields(ModelConfig)),
+    "pretrain": tuple(f.name for f in fields(PretrainConfig)),
+    "finetune": tuple(f.name for f in fields(FinetuneConfig)),
+    "pseudo": tuple(f.name for f in fields(PseudoLabelConfig)),
+    "serve": tuple(f.name for f in fields(ServeConfig)),
+    "run": tuple(f.name for f in fields(RunConfig)),
+}
+
+_FIELD_NAMES_ORDERED = tuple(f.name for f in fields(SudowoodoConfig))
+_FIELD_NAMES = frozenset(_FIELD_NAMES_ORDERED)
+
+# Every flat field must belong to exactly one section (checked at import
+# so a new field cannot silently fall out of the namespaced API).
+_sectioned = [name for names in CONFIG_SECTIONS.values() for name in names]
+if sorted(_sectioned) != sorted(_FIELD_NAMES_ORDERED):
+    _missing = set(_FIELD_NAMES_ORDERED) - set(_sectioned)
+    _extra = set(_sectioned) - set(_FIELD_NAMES_ORDERED)
+    _dupes = {name for name in _sectioned if _sectioned.count(name) > 1}
+    raise RuntimeError(
+        "CONFIG_SECTIONS out of sync with SudowoodoConfig: "
+        f"missing={sorted(_missing)} extra={sorted(_extra)} "
+        f"duplicated={sorted(_dupes)}"
+    )
+del _sectioned
+
+
+#: Valid ``pooling`` strategies (see ``nn.transformer.TransformerEncoder``).
+VALID_POOLINGS = ("cls", "mean")
+
+#: Valid ``cutoff_kind`` values (see ``augment.cutoff``).
+VALID_CUTOFF_KINDS = ("token", "feature", "span", "none")
+
+
+def _valid_da_operators() -> Tuple[str, ...]:
+    """All registered DA operators plus the adaptive ``"auto"`` scheduler.
+
+    Imported lazily: ``augment`` depends on ``data`` and must not load at
+    ``core.config`` import time.
+    """
+    from ..augment.operators import ALL_OPERATORS
+
+    return tuple(ALL_OPERATORS) + ("auto",)
+
+
+#: Per-task configuration presets behind :meth:`SudowoodoConfig.for_task`
+#: (Sections V-A and V-B of the paper).  ``match`` / ``block`` use the EM
+#: defaults unchanged; cleaning swaps in span_shuffle DA and disables
+#: pseudo-labeling; column tasks use cell_shuffle DA and longer columns.
+TASK_CONFIG_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "match": {},
+    "block": {},
+    "clean": dict(
+        da_operator="span_shuffle",
+        cutoff_kind="span",
+        use_pseudo_labeling=False,
+        positive_ratio=0.10,
+    ),
+    "column_match": dict(
+        da_operator="cell_shuffle",
+        cutoff_kind="span",
+        use_pseudo_labeling=False,
+        max_seq_len=40,
+        pair_max_seq_len=72,
+    ),
+    "column_cluster": dict(
+        da_operator="cell_shuffle",
+        cutoff_kind="span",
+        use_pseudo_labeling=False,
+        max_seq_len=40,
+        pair_max_seq_len=72,
+    ),
+}

@@ -120,6 +120,24 @@ class SudowoodoEncoder(Module):
         return matrix
 
 
+    # ------------------------------------------------------------------
+    def clone(self) -> "SudowoodoEncoder":
+        """An independent deep copy of this encoder (weights, tokenizer,
+        config).
+
+        Fine-tuning mutates encoder weights in place, so a task that
+        trains a matcher on a *shared* pre-trained encoder would corrupt
+        every other consumer's representations.  Cloning first keeps the
+        shared encoder (and any :class:`~repro.serve.store.EmbeddingStore`
+        built on it) pristine — the contract
+        :class:`~repro.api.SudowoodoSession` relies on to serve several
+        tasks from one pre-training run.
+        """
+        import copy
+
+        return copy.deepcopy(self)
+
+
 def build_tokenizer(corpus: Sequence[str], config: SudowoodoConfig) -> Tokenizer:
     """Fit the tokenizer on the unlabeled corpus (plus pair vocabulary)."""
     return Tokenizer.fit(corpus, vocab_size=config.vocab_size)

@@ -12,6 +12,7 @@ all ablations via :meth:`SudowoodoConfig.ablated`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -68,9 +69,25 @@ def _apply_class_balance(examples: List[TrainingExample]) -> None:
 
 
 class SudowoodoPipeline:
-    """High-level driver: pretrain -> block -> pseudo-label -> fine-tune."""
+    """High-level driver: pretrain -> block -> pseudo-label -> fine-tune.
+
+    .. deprecated::
+        ``SudowoodoPipeline`` is now a shim over
+        :class:`repro.api.SudowoodoSession`; new code should use
+        ``session.task("match")`` (see ``docs/api.md``), which shares one
+        pre-training run across every workload.
+    """
 
     def __init__(self, config: Optional[SudowoodoConfig] = None) -> None:
+        warnings.warn(
+            "SudowoodoPipeline is deprecated; use repro.api.SudowoodoSession "
+            "and session.task('match') instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init_state(config)
+
+    def _init_state(self, config: Optional[SudowoodoConfig]) -> None:
         self.config = config or SudowoodoConfig()
         self.config.validate()
         self.dataset: Optional[EMDataset] = None
@@ -80,25 +97,50 @@ class SudowoodoPipeline:
         self.store: Optional[EmbeddingStore] = None
         self._blocker: Optional[Blocker] = None
         self._pseudo: Optional[PseudoLabelSet] = None
+        # True when the store belongs to a SudowoodoSession shared with
+        # other tasks: fine-tuning then trains a private encoder clone,
+        # so the shared cache stays valid and must not be cleared.
+        self._shared_store = False
         self.timer = Timer()
+
+    @classmethod
+    def _attached(
+        cls,
+        config: SudowoodoConfig,
+        dataset: EMDataset,
+        encoder: SudowoodoEncoder,
+        store: EmbeddingStore,
+    ) -> "SudowoodoPipeline":
+        """Session-internal constructor: adopt a pre-trained encoder and a
+        shared embedding store instead of pre-training (no deprecation
+        warning — this is the engine behind ``session.task("match")``)."""
+        pipeline = cls.__new__(cls)
+        pipeline._init_state(config)
+        pipeline.dataset = dataset
+        pipeline.encoder = encoder
+        pipeline.store = store
+        pipeline._shared_store = True
+        return pipeline
 
     # ------------------------------------------------------------------
     # ① Pre-training
     # ------------------------------------------------------------------
     def pretrain_on(self, dataset: EMDataset) -> PretrainResult:
         """Contrastive pre-training over the serialized union of A and B."""
+        from ..api.session import SudowoodoSession  # deferred: api imports core
+
         self.dataset = dataset
         with self.timer.section("pretrain"):
-            self.pretrain_result = pretrain(dataset.all_items(), self.config)
-        self.encoder = self.pretrain_result.encoder
-        # One embedding store per pre-trained encoder: blocking, pseudo
-        # labeling, and any MatchService built from this pipeline share its
-        # cache, so the corpus is encoded exactly once.
-        self.store = EmbeddingStore(
-            self.encoder,
-            batch_size=self.config.serve_batch_size,
-            capacity=self.config.embed_cache_capacity,
-        )
+            # The session is the one pre-training implementation; this
+            # driver keeps its historical surface by adopting the
+            # session's encoder and store (blocking, pseudo labeling, and
+            # any MatchService built from this pipeline share the store's
+            # cache, so the corpus is encoded exactly once).
+            session = SudowoodoSession(self.config)
+            self.pretrain_result = session.pretrain(dataset.all_items())
+        self.encoder = session.encoder
+        self.store = session.store
+        self._shared_store = False  # private session: the store is ours
         self._blocker = None
         self._pseudo = None
         return self.pretrain_result
@@ -283,12 +325,15 @@ class SudowoodoPipeline:
             result = finetune_matcher(
                 self.matcher, train, valid, self.config, fixed_steps=fixed_steps
             )
-        if self.store is not None:
+        if self.store is not None and not self._shared_store:
             # Fine-tuning updated the encoder weights in place, so cached
             # vectors now come from a stale model; drop them so later
             # serving requests re-encode consistently.  (Blocking and
             # pseudo-labels already consumed the pre-finetune vectors —
             # the paper's ordering — so nothing upstream is affected.)
+            # A session-shared store is exempt: the task fine-tuned a
+            # private encoder clone, so the shared vectors are still the
+            # pristine pre-trained ones every other task expects.
             self.store.clear()
         return result
 

@@ -1,13 +1,22 @@
 #!/usr/bin/env python
-"""Docs lint: verify every relative markdown link in README.md and docs/
-resolves to an existing file or directory.
+"""Docs lint.
 
-Exit code 0 when all links resolve, 1 otherwise (broken links listed on
-stderr).  External links (http/https/mailto) are not fetched.
+Two checks:
+
+* every relative markdown link in README.md and docs/ resolves to an
+  existing file or directory (external http/https/mailto links are not
+  fetched);
+* every public symbol in ``repro.api.__all__`` — the recommended API
+  surface — carries a docstring (the session API is documentation-first;
+  an undocumented export is a lint failure, not a style nit).
+
+Exit code 0 when both checks pass, 1 otherwise (failures listed on
+stderr).
 """
 
 from __future__ import annotations
 
+import inspect
 import re
 import sys
 from pathlib import Path
@@ -44,6 +53,32 @@ def check_file(markdown: Path, root: Path) -> list:
     return broken
 
 
+def check_api_docstrings(root: Path) -> list:
+    """Return the ``repro.api.__all__`` symbols lacking a docstring.
+
+    The package module itself is also checked.  ``repro`` is imported
+    from the repo's ``src/`` layout, so the check works without an
+    installed package.
+    """
+    sys.path.insert(0, str(root / "src"))
+    try:
+        import repro.api as api
+    finally:
+        sys.path.pop(0)
+    undocumented = []
+    if not (api.__doc__ or "").strip():
+        undocumented.append("repro.api")
+    for name in api.__all__:
+        try:
+            symbol = getattr(api, name)
+        except AttributeError:
+            undocumented.append(f"repro.api.{name} (missing attribute)")
+            continue
+        if not (inspect.getdoc(symbol) or "").strip():
+            undocumented.append(f"repro.api.{name}")
+    return undocumented
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     broken = []
@@ -51,11 +86,17 @@ def main() -> int:
     for markdown in iter_markdown_files(root):
         checked += 1
         broken.extend(check_file(markdown, root))
-    if broken:
+    undocumented = check_api_docstrings(root)
+    if broken or undocumented:
         for source, target in broken:
             print(f"BROKEN LINK in {source}: {target}", file=sys.stderr)
+        for symbol in undocumented:
+            print(f"MISSING DOCSTRING: {symbol}", file=sys.stderr)
         return 1
-    print(f"docs lint ok: {checked} markdown files, all relative links resolve")
+    print(
+        f"docs lint ok: {checked} markdown files, all relative links "
+        "resolve; every repro.api export is documented"
+    )
     return 0
 
 
