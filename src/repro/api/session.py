@@ -74,7 +74,11 @@ class SudowoodoSession:
         return self._encoder is not None
 
     def pretrain(
-        self, corpus: Sequence[str], force: bool = False
+        self,
+        corpus: Sequence[str],
+        force: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> PretrainResult:
         """Contrastively pre-train the shared encoder on ``corpus``.
 
@@ -84,6 +88,12 @@ class SudowoodoSession:
         silently invalidates every fitted task), so a second call raises
         ``RuntimeError`` unless ``force=True``, which also resets the
         store and drops cached task instances.
+
+        With ``checkpoint_dir`` the training engine writes a full-state
+        checkpoint every ``config.checkpoint_every`` epochs;
+        ``resume=True`` continues from the latest checkpoint in that
+        directory (byte-identical to the uninterrupted run — see
+        ``docs/training.md``).
         """
         if self.is_pretrained and not force:
             raise RuntimeError(
@@ -91,7 +101,12 @@ class SudowoodoSession:
                 "re-pretrain (drops the store and every cached task)"
             )
         with self.timer.section("pretrain"):
-            result = pretrain(list(corpus), self.config)
+            result = pretrain(
+                list(corpus),
+                self.config,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
         self._adopt(result.encoder, pretrain_result=result)
         return result
 

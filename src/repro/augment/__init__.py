@@ -1,10 +1,14 @@
-"""Data augmentation: Table I operators and cutoff (Section IV-A)."""
+"""Data augmentation: Table I operators, cutoff (Section IV-A), and
+embedding-level mixup views (Contrastive Mixup)."""
 
 from .cutoff import (
     CUTOFF_KINDS,
     apply_cutoff_to_matrix,
+    make_cutoff_sampler,
     make_cutoff_transform,
+    mask_transform,
 )
+from .mixup import MIXUP_ALPHA, mixup_transform, sample_mixup
 from .operators import (
     ALL_OPERATORS,
     COLUMN_OPERATORS,
@@ -16,6 +20,7 @@ from .operators import (
     col_shuffle,
     get_operator,
     identity,
+    mixup_embed,
     span_del,
     span_shuffle,
     token_del,
@@ -29,6 +34,7 @@ __all__ = [
     "COLUMN_OPERATORS",
     "CUTOFF_KINDS",
     "EM_OPERATORS",
+    "MIXUP_ALPHA",
     "apply_cutoff_to_matrix",
     "augment",
     "augment_batch",
@@ -37,7 +43,12 @@ __all__ = [
     "col_shuffle",
     "get_operator",
     "identity",
+    "make_cutoff_sampler",
     "make_cutoff_transform",
+    "mask_transform",
+    "mixup_embed",
+    "mixup_transform",
+    "sample_mixup",
     "span_del",
     "span_shuffle",
     "token_del",

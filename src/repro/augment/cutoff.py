@@ -21,28 +21,34 @@ from ..nn import Tensor
 
 EmbeddingTransform = Callable[[Tensor, np.ndarray], Tensor]
 
+#: A hoisted cutoff sampler: ``(seq_len, dim) -> (1, T, D) float mask``.
+CutoffSampler = Callable[[int, int], np.ndarray]
+
 CUTOFF_KINDS = ("token", "feature", "span", "none")
 
 
-def make_cutoff_transform(
+def make_cutoff_sampler(
     kind: str,
     ratio: float,
     rng: np.random.Generator,
-) -> Optional[EmbeddingTransform]:
-    """Build a batch-wise cutoff transform.
+) -> Optional[CutoffSampler]:
+    """Build a reusable cutoff *mask* sampler.
 
-    ``ratio`` is the fraction of token positions (or feature dimensions)
-    zeroed, the paper's ``cutoff_ratio`` hyper-parameter (Table IV).
-    Returns None for kind="none" or ratio<=0 (no transform).
+    The sampler's arguments (``kind``, ``ratio``, ``rng``) are
+    loop-invariant, so the training engine hoists this call out of the
+    batch loop and draws one mask per batch — the same RNG consumption
+    sequence as the historical per-batch ``make_cutoff_transform``
+    construction, but with the mask available ahead of the forward pass
+    (background batch preparation and gradient workers both need that).
+    Returns None for kind="none" or ratio<=0 (no cutoff).
     """
     if kind not in CUTOFF_KINDS:
         raise ValueError(f"unknown cutoff kind {kind!r}; known: {CUTOFF_KINDS}")
     if kind == "none" or ratio <= 0:
         return None
 
-    def transform(embeddings: Tensor, attention_mask: np.ndarray) -> Tensor:
-        _, seq_len, dim = embeddings.shape
-        mask = np.ones((1, seq_len, dim), dtype=embeddings.data.dtype)
+    def sample(seq_len: int, dim: int) -> np.ndarray:
+        mask = np.ones((1, seq_len, dim))
         if kind == "token":
             count = max(1, int(round(seq_len * ratio)))
             # Never cut position 0 ([CLS]) — it carries the pooled output.
@@ -58,7 +64,47 @@ def make_cutoff_transform(
             count = max(1, int(round(seq_len * ratio)))
             start = int(rng.integers(1, max(2, seq_len - count)))
             mask[0, start : start + count, :] = 0.0
-        return embeddings * Tensor(mask)
+        return mask
+
+    return sample
+
+
+def mask_transform(mask: np.ndarray) -> EmbeddingTransform:
+    """Wrap a pre-sampled cutoff mask as an ``embedding_transform``.
+
+    The mask is cast to the embedding dtype at apply time, so a sampler
+    hoisted outside the autograd context composes with either float32 or
+    float64 runs.
+    """
+
+    def transform(embeddings: Tensor, attention_mask: np.ndarray) -> Tensor:
+        return embeddings * Tensor(mask.astype(embeddings.data.dtype, copy=False))
+
+    return transform
+
+
+def make_cutoff_transform(
+    kind: str,
+    ratio: float,
+    rng: np.random.Generator,
+) -> Optional[EmbeddingTransform]:
+    """Build a batch-wise cutoff transform (mask drawn at apply time).
+
+    ``ratio`` is the fraction of token positions (or feature dimensions)
+    zeroed, the paper's ``cutoff_ratio`` hyper-parameter (Table IV).
+    Returns None for kind="none" or ratio<=0 (no transform).  The
+    training engine uses the hoisted :func:`make_cutoff_sampler` /
+    :func:`mask_transform` pair instead, which draws the identical mask
+    sequence one stage earlier.
+    """
+    sampler = make_cutoff_sampler(kind, ratio, rng)
+    if sampler is None:
+        return None
+
+    def transform(embeddings: Tensor, attention_mask: np.ndarray) -> Tensor:
+        _, seq_len, dim = embeddings.shape
+        mask = sampler(seq_len, dim)
+        return embeddings * Tensor(mask.astype(embeddings.data.dtype, copy=False))
 
     return transform
 

@@ -154,6 +154,19 @@ def identity(text: str, rng: np.random.Generator) -> str:
     return text
 
 
+def mixup_embed(text: str, rng: np.random.Generator) -> str:
+    """Embedding-level mixup: identity at the text level.
+
+    The actual distortion — interpolating token embeddings with another
+    in-batch item's (see :mod:`repro.augment.mixup`) — happens at the
+    embedding injection point during encoding, because it needs the whole
+    batch.  Registering the text-level identity here lets the operator
+    sit in :data:`EM_OPERATORS` and compete under the adaptive
+    ``da_operator="auto"`` scheduler like any Table I operator.
+    """
+    return text
+
+
 EM_OPERATORS: Dict[str, Operator] = {
     "token_del": token_del,
     "token_repl": token_repl,
@@ -163,6 +176,7 @@ EM_OPERATORS: Dict[str, Operator] = {
     "span_shuffle": span_shuffle,
     "col_shuffle": col_shuffle,
     "col_del": col_del,
+    "mixup_embed": mixup_embed,
 }
 
 COLUMN_OPERATORS: Dict[str, Operator] = {

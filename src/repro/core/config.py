@@ -16,7 +16,9 @@ The flat :class:`SudowoodoConfig` dataclass remains the single source of
 truth (every existing call site keeps working), but its fields are also
 grouped into **namespaced sections** — :class:`ModelConfig`,
 :class:`PretrainConfig`, :class:`FinetuneConfig`,
-:class:`PseudoLabelConfig`, :class:`ServeConfig`, :class:`RunConfig` —
+:class:`PseudoLabelConfig`, :class:`ServeConfig`,
+:class:`~repro.train.engine.TrainConfig` (the shared training engine's
+knobs), :class:`RunConfig` —
 readable via the ``config.model`` / ``config.pretrain`` / ... properties,
 composable via :meth:`SudowoodoConfig.from_parts`, and round-trippable
 via :meth:`SudowoodoConfig.to_dict` / :meth:`SudowoodoConfig.from_dict`.
@@ -28,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..train.engine import TrainConfig
 
 
 @dataclass
@@ -120,6 +124,18 @@ class SudowoodoConfig:
     coalesce_window_ms: float = 2.0
     max_coalesce_batch: int = 64
 
+    # ----------------------------------------------------- training engine
+    # Knobs of the shared step-loop runtime (repro.train.Trainer), used by
+    # every training path: contrastive pre-training, MLM warm start, and
+    # matcher fine-tuning (EM, cleaning, columns).  Defaults reproduce the
+    # pre-engine loops byte-identically; see docs/training.md.
+    train_workers: int = 1
+    grad_accum_steps: int = 1
+    grad_clip: Optional[float] = None
+    early_stop_patience: Optional[int] = None
+    checkpoint_every: int = 1
+    train_prefetch: int = 2
+
     # ------------------------------------------------- optimization flags
     use_pseudo_labeling: bool = True
     use_cluster_sampling: bool = True
@@ -170,6 +186,13 @@ class SudowoodoConfig:
         return ServeConfig(**self._section_values("serve"))
 
     @property
+    def train(self) -> TrainConfig:
+        """The training-engine section as a
+        :class:`~repro.train.engine.TrainConfig` (the object the shared
+        :class:`~repro.train.engine.Trainer` consumes directly)."""
+        return TrainConfig(**self._section_values("train"))
+
+    @property
     def run(self) -> "RunConfig":
         """The cross-cutting run section (seed, blocking k)."""
         return RunConfig(**self._section_values("run"))
@@ -185,6 +208,7 @@ class SudowoodoConfig:
         finetune: Optional["FinetuneConfig"] = None,
         pseudo: Optional["PseudoLabelConfig"] = None,
         serve: Optional["ServeConfig"] = None,
+        train: Optional[TrainConfig] = None,
         run: Optional["RunConfig"] = None,
         **overrides: Any,
     ) -> "SudowoodoConfig":
@@ -194,7 +218,7 @@ class SudowoodoConfig:
         applied last and win over section values.
         """
         values: Dict[str, Any] = {}
-        for part in (model, pretrain, finetune, pseudo, serve, run):
+        for part in (model, pretrain, finetune, pseudo, serve, train, run):
             if part is not None:
                 values.update(
                     {f.name: getattr(part, f.name) for f in fields(part)}
@@ -324,6 +348,8 @@ class SudowoodoConfig:
             raise ValueError("coalesce_window_ms must be >= 0")
         if self.max_coalesce_batch < 1:
             raise ValueError("max_coalesce_batch must be positive")
+        # Training-engine knobs share TrainConfig's own validation.
+        self.train.validate()
 
 
 # ----------------------------------------------------------------------
@@ -425,6 +451,7 @@ CONFIG_SECTIONS: Dict[str, Tuple[str, ...]] = {
     "finetune": tuple(f.name for f in fields(FinetuneConfig)),
     "pseudo": tuple(f.name for f in fields(PseudoLabelConfig)),
     "serve": tuple(f.name for f in fields(ServeConfig)),
+    "train": tuple(f.name for f in fields(TrainConfig)),
     "run": tuple(f.name for f in fields(RunConfig)),
 }
 

@@ -71,6 +71,25 @@ class SudowoodoEncoder(Module):
             embedding_transform=embedding_transform,
         )
 
+    def encode_tokens_training(
+        self,
+        encoding,
+        embedding_transform: Optional[EmbeddingTransform] = None,
+    ) -> Tensor:
+        """Pooled (B, dim) representations from a pre-tokenized batch.
+
+        The training engine tokenizes ahead of the forward pass (through
+        its :class:`~repro.train.data.TokenCache` and background batch
+        preparation), so the hot path enters here; results are
+        byte-identical to :meth:`encode_training` on the same texts.
+        """
+        return self.encoder.pooled(
+            encoding.token_ids,
+            attention_mask=encoding.attention_mask,
+            pooling=self.config.pooling,
+            embedding_transform=embedding_transform,
+        )
+
     def encode_pairs_training(
         self, pairs: Sequence[tuple], max_len: Optional[int] = None
     ) -> Tensor:

@@ -10,7 +10,7 @@ difference.  The baseline Ditto head (concat-only) is available via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..nn import (
     no_grad,
     weighted_cross_entropy,
 )
+from ..train import StepProgram, Trainer, permutation_batches, shard_bounds
 from ..utils import spawn_rng
 from .config import SudowoodoConfig
 from .encoder import SudowoodoEncoder
@@ -109,6 +110,105 @@ class PairwiseMatcher(Module):
         return self.predict_proba(pairs, batch_size=batch_size).argmax(axis=1)
 
 
+class FinetuneProgram(StepProgram):
+    """Matcher fine-tuning as a :class:`~repro.train.StepProgram`.
+
+    Epoch permutations come from the dedicated ``finetune`` stream; batch
+    preparation consumes no randomness, so background preparation and
+    gradient workers are both safe.  Validation (a few times across
+    training — it costs as much as several training steps at this scale)
+    and best-F1 model selection run at epoch boundaries, matching the
+    paper's per-epoch protocol.
+    """
+
+    def __init__(
+        self,
+        matcher: PairwiseMatcher,
+        train_examples: Sequence[TrainingExample],
+        valid_examples: Sequence[TrainingExample],
+        config: SudowoodoConfig,
+        rng: np.random.Generator,
+        validate_every: int,
+    ) -> None:
+        self.matcher = matcher
+        self.train_examples = list(train_examples)
+        self.valid_examples = list(valid_examples)
+        self.config = config
+        self.rng = rng
+        self.validate_every = validate_every
+        self.result = FinetuneResult()
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def epoch_batches(self, epoch: int) -> Sequence[np.ndarray]:
+        return permutation_batches(
+            self.rng, len(self.train_examples), self.config.finetune_batch_size
+        )
+
+    def prepare(
+        self, batch_idx: np.ndarray
+    ) -> Optional[List[TrainingExample]]:
+        batch = [self.train_examples[int(i)] for i in batch_idx]
+        if len(batch) < 2:
+            return None
+        return batch
+
+    def loss(self, model: PairwiseMatcher, batch: List[TrainingExample]):
+        logits = model.forward([(e.left, e.right) for e in batch])
+        return weighted_cross_entropy(
+            logits,
+            np.array([e.label for e in batch]),
+            np.array([e.weight for e in batch]),
+        )
+
+    def shard(
+        self, batch: List[TrainingExample], num_shards: int
+    ) -> Optional[List[Tuple[List[TrainingExample], int]]]:
+        bounds = shard_bounds(len(batch), num_shards, min_per_shard=2)
+        if bounds is None:
+            return None
+        return [(batch[lo:hi], hi - lo) for lo, hi in bounds]
+
+    def on_epoch_end(
+        self, trainer: Trainer, epoch: int, epoch_loss: float, is_last: bool
+    ) -> None:
+        if not self.valid_examples:
+            return
+        if epoch % self.validate_every != 0 and not is_last:
+            return
+        valid_f1 = evaluate_f1(
+            self.matcher,
+            [(e.left, e.right) for e in self.valid_examples],
+            [e.label for e in self.valid_examples],
+        )["f1"]
+        if valid_f1 >= self.result.best_valid_f1:
+            self.result.best_valid_f1 = valid_f1
+            self.result.best_epoch = epoch
+            self._best_state = self.matcher.state_dict()
+
+    def on_fit_end(self, trainer: Trainer) -> None:
+        if self._best_state is not None:
+            self.matcher.load_state_dict(self._best_state)
+        self.result.epoch_losses = list(trainer.state.epoch_losses)
+
+    # -- checkpoint participation --------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "best_valid_f1": self.result.best_valid_f1,
+            "best_epoch": self.result.best_epoch,
+        }
+
+    def load_state_dict(self, values: Dict[str, Any]) -> None:
+        self.result.best_valid_f1 = float(values.get("best_valid_f1", 0.0))
+        self.result.best_epoch = int(values.get("best_epoch", -1))
+
+    def array_state(self) -> Dict[str, np.ndarray]:
+        return dict(self._best_state or {})
+
+    def load_array_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._best_state = dict(arrays)
+
+
 def finetune_matcher(
     matcher: PairwiseMatcher,
     train_examples: Sequence[TrainingExample],
@@ -126,6 +226,10 @@ def finetune_matcher(
     the paper's per-epoch model selection.  ``fixed_steps`` caps total
     optimizer steps — the paper fixes the step count when pseudo labels
     enlarge the training set, so extra labels don't buy extra compute.
+
+    The step loop runs on the shared training engine, so the config's
+    ``train`` section (gradient clipping, accumulation, workers,
+    background preparation) applies here as it does to pre-training.
     """
     config = config or matcher.encoder.config
     if not train_examples:
@@ -146,61 +250,21 @@ def finetune_matcher(
     encoder_schedule = LinearWarmupDecay(
         encoder_optimizer, config.finetune_lr, total_steps
     )
-    # Validate a few times across training rather than every epoch —
-    # validation costs as much as several training steps at this scale.
     epochs_planned = max(1, int(np.ceil(total_steps / steps_per_epoch)))
     validate_every = max(1, epochs_planned // max(1, num_validations))
 
-    result = FinetuneResult()
-    best_state = None
-    steps_taken = 0
-    matcher.encoder.encoder.train()
-    epoch = 0
-    while steps_taken < total_steps:
-        order = rng.permutation(len(train_examples))
-        epoch_losses: List[float] = []
-        for start in range(0, len(order), config.finetune_batch_size):
-            if steps_taken >= total_steps:
-                break
-            batch = [
-                train_examples[int(i)]
-                for i in order[start : start + config.finetune_batch_size]
-            ]
-            if len(batch) < 2:
-                continue
-            logits = matcher.forward([(e.left, e.right) for e in batch])
-            loss = weighted_cross_entropy(
-                logits,
-                np.array([e.label for e in batch]),
-                np.array([e.weight for e in batch]),
-            )
-            head_optimizer.zero_grad()
-            encoder_optimizer.zero_grad()
-            loss.backward()
-            encoder_schedule.step()
-            head_optimizer.step()
-            encoder_optimizer.step()
-            steps_taken += 1
-            epoch_losses.append(loss.item())
-        result.epoch_losses.append(
-            float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-        )
-        is_last = steps_taken >= total_steps
-        if valid_examples and (epoch % validate_every == 0 or is_last):
-            valid_f1 = evaluate_f1(
-                matcher,
-                [(e.left, e.right) for e in valid_examples],
-                [e.label for e in valid_examples],
-            )["f1"]
-            if valid_f1 >= result.best_valid_f1:
-                result.best_valid_f1 = valid_f1
-                result.best_epoch = epoch
-                best_state = matcher.state_dict()
-        epoch += 1
-    if best_state is not None:
-        matcher.load_state_dict(best_state)
-    matcher.encoder.encoder.eval()
-    return result
+    program = FinetuneProgram(
+        matcher, train_examples, valid_examples, config, rng, validate_every
+    )
+    trainer = Trainer(
+        matcher,
+        program,
+        [head_optimizer, encoder_optimizer],
+        schedules=[encoder_schedule],
+        config=config.train,
+    )
+    trainer.fit(max_steps=total_steps)
+    return program.result
 
 
 def evaluate_f1(

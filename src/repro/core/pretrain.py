@@ -3,25 +3,46 @@
 Per epoch: mini-batches are drawn by clustering-based negative sampling
 (Algorithm 2) when enabled, otherwise uniformly.  Each batch is augmented
 with one base DA operator (Table I); the augmented view is additionally
-perturbed by a batch-wise cutoff at the token-embedding level (Figure 5).
-The loss is Equation 6 — NT-Xent optionally blended with Barlow Twins.
+perturbed by a batch-wise cutoff at the token-embedding level (Figure 5),
+or — for the ``mixup_embed`` operator — by interpolating token embeddings
+with another in-batch item (Contrastive Mixup).  The loss is Equation 6 —
+NT-Xent optionally blended with Barlow Twins.
+
+The epoch/step loop itself runs on the shared training engine
+(:class:`repro.train.Trainer`): this module contributes only the
+:class:`StepProgram` adapter — batch drawing, augmentation, and the
+contrastive loss — while the engine owns optimizer stepping, gradient
+accumulation/clipping, callbacks, tokenization caching, background batch
+preparation, data-parallel gradient workers, and full-state
+checkpoint/resume (``checkpoint_dir=`` / ``resume=``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..augment import EM_OPERATORS, augment_batch, make_cutoff_transform
+from ..augment import (
+    EM_OPERATORS,
+    augment_batch,
+    make_cutoff_sampler,
+    mask_transform,
+    mixup_transform,
+    sample_mixup,
+)
 from ..nn import AdamW
 from ..text import MLMConfig, mlm_warm_start
+from ..train import Checkpointer, StepProgram, TokenCache, Trainer, shard_bounds
 from ..utils import RngStream
 from .config import SudowoodoConfig
 from .encoder import SudowoodoEncoder, build_tokenizer
 from .losses import combined_loss, nt_xent_loss
 from .negative_sampling import ClusterBatcher
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -86,6 +107,26 @@ class OperatorScheduler:
         self._scores[operator] += self.step_size * advantage
         self._running_loss = 0.9 * self._running_loss + 0.1 * loss
 
+    # -- checkpoint participation --------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable scores + running loss for trainer resume."""
+        return {
+            "scores": dict(self._scores),
+            "running_loss": self._running_loss,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (operator set must match)."""
+        if set(state["scores"]) != set(self._scores):
+            raise ValueError(
+                "operator scheduler mismatch: checkpoint has "
+                f"{sorted(state['scores'])}, scheduler has "
+                f"{sorted(self._scores)}"
+            )
+        self._scores = {op: float(s) for op, s in state["scores"].items()}
+        running = state.get("running_loss")
+        self._running_loss = None if running is None else float(running)
+
 
 def prepare_corpus(
     items: Sequence[str], config: SudowoodoConfig, rng: np.random.Generator
@@ -102,10 +143,200 @@ def prepare_corpus(
     return items + [items[int(i)] for i in extra]
 
 
+@dataclass
+class _PreparedBatch:
+    """Step inputs the contrastive program hands the engine."""
+
+    ori: Any  # stacked Encoding of the original view
+    aug: Any  # stacked Encoding of the augmented view
+    transform: Optional[Any]  # embedding transform for the augmented view
+    operator: str
+    size: int
+    cross_item: bool  # True when the transform mixes in-batch items
+
+
+class ContrastivePretrainProgram(StepProgram):
+    """Algorithm 1's inner loop as a :class:`~repro.train.StepProgram`.
+
+    Batch preparation — operator sampling, text augmentation, cutoff mask
+    drawing, tokenization (cache-first for the original view) — runs in
+    ``prepare`` so the engine can pipeline it on the background thread;
+    the forward pass encodes both views and evaluates Equation 6.  Every
+    stochastic choice draws from its own named stream, so preparing ahead
+    consumes the exact sequences of the serial loop.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[str],
+        config: SudowoodoConfig,
+        rngs: RngStream,
+        tokenizer: Any,
+        token_cache: Optional[TokenCache] = None,
+    ) -> None:
+        self.corpus = list(corpus)
+        self.config = config
+        self.tokenizer = tokenizer
+        self.token_cache = token_cache or TokenCache(tokenizer)
+        self.batcher = ClusterBatcher(
+            self.corpus,
+            num_clusters=config.num_clusters if config.use_cluster_sampling else 1,
+            rng=rngs.get("clustering"),
+        )
+        self.da_rng = rngs.get("augment")
+        self.cutoff_rng = rngs.get("cutoff")
+        self.batch_rng = rngs.get("batches")
+        # Satellite fix: the cutoff factory's arguments are loop-invariant,
+        # so it is hoisted here instead of being rebuilt per batch; the
+        # per-batch mask draw consumes the identical cutoff-RNG sequence.
+        self.cutoff_sampler = (
+            make_cutoff_sampler(
+                config.cutoff_kind, config.cutoff_ratio, self.cutoff_rng
+            )
+            if config.use_cutoff
+            else None
+        )
+        self.scheduler = (
+            OperatorScheduler(sorted(EM_OPERATORS), rngs.get("da-scheduler"))
+            if config.da_operator == "auto"
+            else None
+        )
+        # The adaptive scheduler observes each batch's loss before sampling
+        # the next operator — inherently sequential, so preparation must
+        # not run ahead.
+        self.prepare_in_background = self.scheduler is None
+
+    # ------------------------------------------------------------------
+    def epoch_batches(self, epoch: int) -> Sequence[np.ndarray]:
+        if self.config.use_cluster_sampling:
+            return self.batcher.batches(
+                self.config.pretrain_batch_size, self.batch_rng
+            )
+        return self.batcher.uniform_batches(
+            self.config.pretrain_batch_size, self.batch_rng
+        )
+
+    def prepare(self, batch_indices: np.ndarray) -> _PreparedBatch:
+        batch = [self.corpus[int(i)] for i in batch_indices]
+        # Line 7 of Algorithm 1: choose and apply the DA operator.
+        operator = (
+            self.scheduler.sample() if self.scheduler else self.config.da_operator
+        )
+        augmented = augment_batch(batch, self.da_rng, operator=operator)
+        transforms = []
+        cross_item = False
+        if operator == "mixup_embed":
+            permutation, lam = sample_mixup(len(batch), self.da_rng)
+            transforms.append(mixup_transform(permutation, lam))
+            cross_item = True
+        if self.cutoff_sampler is not None:
+            mask = self.cutoff_sampler(self.config.max_seq_len, self.config.dim)
+            transforms.append(mask_transform(mask))
+        ori = self.token_cache.encode_batch(batch, self.config.max_seq_len)
+        if operator == "mixup_embed":
+            # The text view is the identity — serve it from the cache too.
+            aug = self.token_cache.encode_batch(augmented, self.config.max_seq_len)
+        else:
+            aug = self.tokenizer.encode_batch(
+                augmented, max_len=self.config.max_seq_len
+            )
+        return _PreparedBatch(
+            ori=ori,
+            aug=aug,
+            transform=_chain(transforms),
+            operator=operator,
+            size=len(batch),
+            cross_item=cross_item,
+        )
+
+    def loss(self, model: SudowoodoEncoder, prepared: _PreparedBatch):
+        # Line 7/9 of Algorithm 1: encode both views, Equation 6 (or plain
+        # Equation 2 without RR).
+        z_ori = model.project(model.encode_tokens_training(prepared.ori))
+        z_aug = model.project(
+            model.encode_tokens_training(
+                prepared.aug, embedding_transform=prepared.transform
+            )
+        )
+        if self.config.use_barlow_twins:
+            return combined_loss(
+                z_ori,
+                z_aug,
+                temperature=self.config.temperature,
+                alpha_bt=self.config.alpha_bt,
+                lambda_bt=self.config.lambda_bt,
+            )
+        return nt_xent_loss(z_ori, z_aug, temperature=self.config.temperature)
+
+    def shard(
+        self, prepared: _PreparedBatch, num_shards: int
+    ) -> Optional[List[Tuple[_PreparedBatch, int]]]:
+        if prepared.cross_item:
+            return None  # mixup interpolates across the whole batch
+        # Contrastive losses need >= 2 items per shard for in-batch
+        # negatives.
+        bounds = shard_bounds(prepared.size, num_shards, min_per_shard=2)
+        if bounds is None:
+            return None
+        return [
+            (
+                _PreparedBatch(
+                    ori=_slice_encoding(prepared.ori, lo, hi),
+                    aug=_slice_encoding(prepared.aug, lo, hi),
+                    transform=prepared.transform,
+                    operator=prepared.operator,
+                    size=hi - lo,
+                    cross_item=False,
+                ),
+                hi - lo,
+            )
+            for lo, hi in bounds
+        ]
+
+    def on_batch_end(self, prepared: _PreparedBatch, loss: float) -> None:
+        if self.scheduler:
+            self.scheduler.update(prepared.operator, loss)
+
+    # -- checkpoint participation --------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        if self.scheduler is None:
+            return {}
+        return {"scheduler": self.scheduler.state_dict()}
+
+    def load_state_dict(self, values: Dict[str, Any]) -> None:
+        if self.scheduler is not None and "scheduler" in values:
+            self.scheduler.load_state_dict(values["scheduler"])
+
+
+def _chain(transforms: List[Any]) -> Optional[Any]:
+    """Compose embedding transforms left to right (None when empty)."""
+    if not transforms:
+        return None
+    if len(transforms) == 1:
+        return transforms[0]
+
+    def chained(embeddings, attention_mask):
+        for transform in transforms:
+            embeddings = transform(embeddings, attention_mask)
+        return embeddings
+
+    return chained
+
+
+def _slice_encoding(encoding: Any, lo: int, hi: int) -> Any:
+    return type(encoding)(
+        token_ids=encoding.token_ids[lo:hi],
+        attention_mask=encoding.attention_mask[lo:hi],
+        segment_ids=encoding.segment_ids[lo:hi],
+    )
+
+
 def pretrain(
     corpus: Sequence[str],
     config: Optional[SudowoodoConfig] = None,
     encoder: Optional[SudowoodoEncoder] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> PretrainResult:
     """Run contrastive pre-training over a corpus of serialized data items.
 
@@ -113,20 +344,38 @@ def pretrain(
     when ``config.mlm_warm_start_epochs > 0`` the encoder is first warmed up
     with masked-LM training (the offline stand-in for initializing from a
     pre-trained LM — Algorithm 1, line 1).
+
+    With ``checkpoint_dir`` the engine writes a full-state checkpoint
+    (model + optimizer moments + RNG stream states) every
+    ``config.checkpoint_every`` epochs; ``resume=True`` restores the
+    latest checkpoint from that directory — when one exists — and
+    continues, reproducing the uninterrupted run's weights and
+    ``epoch_losses`` byte-identically.  A corrupt checkpoint raises
+    ``ValueError`` rather than silently restarting.
     """
     config = config or SudowoodoConfig()
     config.validate()
+    if resume and checkpoint_dir is None:
+        raise ValueError(
+            "resume=True requires checkpoint_dir (a resume request "
+            "silently retraining from scratch would discard the prior run)"
+        )
     rngs = RngStream(config.seed)
     corpus = prepare_corpus(corpus, config, rngs.get("corpus"))
 
+    resuming = resume and (Path(checkpoint_dir) / Checkpointer.FILENAME).exists()
+    token_cache: Optional[TokenCache] = None
     if encoder is None:
         tokenizer = build_tokenizer(corpus, config)
         encoder = SudowoodoEncoder(config, tokenizer)
-        if config.mlm_warm_start_epochs > 0:
+        token_cache = TokenCache(tokenizer)
+        if config.mlm_warm_start_epochs > 0 and not resuming:
             # The warm-start corpus mixes single items with random pair
             # concatenations so the encoder has seen `[SEP]`-joined long
             # sequences before pair fine-tuning — the role RoBerta's
-            # general pre-training plays in the original system.
+            # general pre-training plays in the original system.  (When
+            # resuming, the checkpoint restores post-warm-start weights,
+            # so the warm start is skipped outright.)
             warm_rng = rngs.get("warm-pairs")
             pair_lines = [
                 corpus[int(warm_rng.integers(len(corpus)))]
@@ -144,70 +393,30 @@ def pretrain(
                     max_seq_len=config.pair_max_seq_len,
                     seed=config.seed,
                 ),
+                engine=config.train,
             )
+    else:
+        tokenizer = encoder.tokenizer
 
-    batcher = ClusterBatcher(
-        corpus,
-        num_clusters=config.num_clusters if config.use_cluster_sampling else 1,
-        rng=rngs.get("clustering"),
+    program = ContrastivePretrainProgram(
+        corpus, config, rngs, tokenizer, token_cache=token_cache
     )
     optimizer = AdamW(encoder.parameters(), lr=config.pretrain_lr)
-    da_rng = rngs.get("augment")
-    cutoff_rng = rngs.get("cutoff")
-    batch_rng = rngs.get("batches")
-    scheduler = (
-        OperatorScheduler(sorted(EM_OPERATORS), rngs.get("da-scheduler"))
-        if config.da_operator == "auto"
-        else None
+    trainer = Trainer(
+        encoder,
+        program,
+        optimizer,
+        config=config.train,
+        rngs=rngs,
+        checkpoint_dir=checkpoint_dir,
     )
+    if resume:
+        trainer.try_resume()
+    state = trainer.fit(max_epochs=config.pretrain_epochs)
 
-    encoder.train()
-    epoch_losses: List[float] = []
-    for _ in range(config.pretrain_epochs):
-        if config.use_cluster_sampling:
-            batches = batcher.batches(config.pretrain_batch_size, batch_rng)
-        else:
-            batches = batcher.uniform_batches(config.pretrain_batch_size, batch_rng)
-        losses: List[float] = []
-        for batch_indices in batches:
-            batch = [corpus[int(i)] for i in batch_indices]
-            # Line 7 of Algorithm 1: augment and encode both views.
-            operator = scheduler.sample() if scheduler else config.da_operator
-            augmented = augment_batch(batch, da_rng, operator=operator)
-            cutoff = (
-                make_cutoff_transform(
-                    config.cutoff_kind, config.cutoff_ratio, cutoff_rng
-                )
-                if config.use_cutoff
-                else None
-            )
-            z_ori = encoder.project(encoder.encode_training(batch))
-            z_aug = encoder.project(
-                encoder.encode_training(augmented, embedding_transform=cutoff)
-            )
-            # Line 9: Equation 6 (or plain Equation 2 without RR).
-            if config.use_barlow_twins:
-                loss = combined_loss(
-                    z_ori,
-                    z_aug,
-                    temperature=config.temperature,
-                    alpha_bt=config.alpha_bt,
-                    lambda_bt=config.lambda_bt,
-                )
-            else:
-                loss = nt_xent_loss(z_ori, z_aug, temperature=config.temperature)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
-            if scheduler:
-                scheduler.update(operator, loss.item())
-        epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
-
-    encoder.eval()
     return PretrainResult(
         encoder=encoder,
-        epoch_losses=epoch_losses,
+        epoch_losses=list(state.epoch_losses),
         corpus_size=len(corpus),
-        operator_weights=scheduler.weights() if scheduler else None,
+        operator_weights=program.scheduler.weights() if program.scheduler else None,
     )

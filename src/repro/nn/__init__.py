@@ -21,7 +21,12 @@ from .optim import (
     LRSchedule,
     Optimizer,
 )
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    load_checkpoint,
+    load_state_archive,
+    save_checkpoint,
+    save_state_archive,
+)
 from .tensor import (
     Tensor,
     autograd_dtype,
@@ -71,11 +76,13 @@ __all__ = [
     "cosine_similarity_rows",
     "cross_entropy",
     "load_checkpoint",
+    "load_state_archive",
     "make_padding_mask",
     "mse_loss",
     "no_grad",
     "numerical_gradient",
     "save_checkpoint",
+    "save_state_archive",
     "stack",
     "weighted_cross_entropy",
 ]

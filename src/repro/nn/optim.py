@@ -8,7 +8,7 @@ Hutter, which matches the HuggingFace AdamW used by the original system.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,56 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization (full-state checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Optimizer state as ``{"values": {...}, "arrays": {...}}``.
+
+        ``values`` holds JSON-serializable scalars, ``arrays`` holds the
+        per-parameter moment buffers keyed by slot name and parameter
+        index.  Restoring via :meth:`load_state_dict` into an optimizer
+        built over the *same* parameter list reproduces the optimizer's
+        future updates exactly — the invariant trainer checkpoint/resume
+        relies on.
+        """
+        return {"values": {"lr": float(self.lr)}, "arrays": {}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict` (same param list)."""
+        self.lr = float(state["values"]["lr"])
+        self._load_arrays(state.get("arrays", {}))
+
+    def _load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if arrays:
+            raise ValueError(
+                f"{type(self).__name__} carries no array state but the "
+                f"checkpoint provides {sorted(arrays)}"
+            )
+
+    @staticmethod
+    def _pack_slots(**slots: List[np.ndarray]) -> Dict[str, np.ndarray]:
+        return {
+            f"{name}.{i}": buffer
+            for name, buffers in slots.items()
+            for i, buffer in enumerate(buffers)
+        }
+
+    def _unpack_slot(
+        self, arrays: Dict[str, np.ndarray], name: str, buffers: List[np.ndarray]
+    ) -> None:
+        for i, buffer in enumerate(buffers):
+            key = f"{name}.{i}"
+            if key not in arrays:
+                raise ValueError(f"optimizer checkpoint missing buffer {key!r}")
+            value = arrays[key]
+            if value.shape != buffer.shape:
+                raise ValueError(
+                    f"optimizer buffer {key!r} shape mismatch: "
+                    f"saved {value.shape}, expected {buffer.shape}"
+                )
+            buffer[...] = value
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip gradients in place to a global L2 norm; returns the norm."""
@@ -68,6 +118,19 @@ class SGD(Optimizer):
                 update = param.grad
             param.data -= self.lr * update
 
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["values"]["momentum"] = float(self.momentum)
+        state["arrays"] = self._pack_slots(velocity=self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["values"]["momentum"])
+
+    def _load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._unpack_slot(arrays, "velocity", self._velocity)
+
 
 class Adam(Optimizer):
     """Adam with bias correction."""
@@ -100,6 +163,20 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["values"]["step_count"] = int(self._step_count)
+        state["arrays"] = self._pack_slots(m=self._m, v=self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["values"]["step_count"])
+
+    def _load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._unpack_slot(arrays, "m", self._m)
+        self._unpack_slot(arrays, "v", self._v)
 
 
 class AdamW(Adam):
@@ -140,6 +217,13 @@ class LRSchedule:
 
     def compute_lr(self, step: int) -> float:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Schedule position (the optimizer's lr is restored separately)."""
+        return {"step_count": int(self.step_count)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.step_count = int(state["step_count"])
 
 
 class ConstantSchedule(LRSchedule):

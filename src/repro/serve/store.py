@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.encoder import SudowoodoEncoder
 from ..core.persistence import load_vector_cache, save_vector_cache
+from ..utils import text_fingerprint
 
 PathLike = Union[str, Path]
 
@@ -96,8 +97,9 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     @staticmethod
     def fingerprint(text: str) -> str:
-        """Stable cache key for a serialized record."""
-        return hashlib.sha1(text.encode("utf-8")).hexdigest()
+        """Stable cache key for a serialized record (shared scheme —
+        see :func:`repro.utils.text_fingerprint`)."""
+        return text_fingerprint(text)
 
     def encoder_fingerprint(self) -> str:
         """Identity of the encoder the cached vectors belong to.

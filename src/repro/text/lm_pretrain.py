@@ -6,16 +6,29 @@ task corpus: it gives the encoder distributional knowledge of the domain
 vocabulary before any contrastive or supervised step, exactly the role the
 pre-trained LM plays.  Baselines labelled "RoBERTa-base" in the paper's
 tables map to this warm-started encoder *without* contrastive pre-training.
+
+The epoch loop runs on the shared training engine
+(:class:`repro.train.Trainer`); this module contributes the masking
+program.  Callers may pass an engine :class:`~repro.train.TrainConfig`
+to enable gradient clipping, accumulation, or workers for the warm
+start too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn import AdamW, LMHead, TransformerConfig, TransformerEncoder, cross_entropy
+from ..nn import AdamW, LMHead, Module, TransformerEncoder, cross_entropy
+from ..train import (
+    StepProgram,
+    TrainConfig,
+    Trainer,
+    permutation_batches,
+    shard_bounds,
+)
 from ..utils import spawn_rng
 from .tokenizer import Tokenizer
 
@@ -41,50 +54,115 @@ class MLMResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
+class _MLMModel(Module):
+    """Encoder + LM head trained jointly during the warm start."""
+
+    def __init__(self, encoder: TransformerEncoder, head: LMHead) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.head = head
+
+
+class MLMProgram(StepProgram):
+    """BERT-style masked-token prediction as a step program.
+
+    Epoch order and the 80/10/10 masking both draw from one generator in
+    strict batch order, so background preparation and the serial loop
+    consume identical sequences.
+    """
+
+    def __init__(
+        self,
+        encoded: Any,
+        tokenizer: Tokenizer,
+        config: MLMConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.encoded = encoded
+        self.tokenizer = tokenizer
+        self.config = config
+        self.rng = rng
+        self.num_items = int(encoded.token_ids.shape[0])
+
+    def epoch_batches(self, epoch: int) -> Sequence[np.ndarray]:
+        return permutation_batches(
+            self.rng, self.num_items, self.config.batch_size
+        )
+
+    def prepare(self, batch_idx: np.ndarray) -> Optional[Tuple]:
+        token_ids = self.encoded.token_ids[batch_idx].copy()
+        attention = self.encoded.attention_mask[batch_idx]
+        masked_ids, target_ids, target_mask = _apply_masking(
+            token_ids,
+            attention,
+            self.tokenizer,
+            self.config.mask_probability,
+            self.rng,
+        )
+        if not target_mask.any():
+            return None
+        return masked_ids, attention, target_ids, target_mask
+
+    def loss(self, model: _MLMModel, prepared: Tuple):
+        masked_ids, attention, target_ids, target_mask = prepared
+        hidden = model.encoder(masked_ids, attention_mask=attention)
+        logits = model.head(hidden)
+        rows, cols = np.nonzero(target_mask)
+        picked_logits = logits[rows, cols]
+        return cross_entropy(picked_logits, target_ids[rows, cols])
+
+    def shard(
+        self, prepared: Tuple, num_shards: int
+    ) -> Optional[List[Tuple[Tuple, int]]]:
+        masked_ids, attention, target_ids, target_mask = prepared
+        bounds = shard_bounds(masked_ids.shape[0], num_shards)
+        if bounds is None:
+            return None
+        shards: List[Tuple[Tuple, int]] = []
+        for lo, hi in bounds:
+            if not target_mask[lo:hi].any():
+                continue  # a shard with no masked positions has no loss
+            shards.append(
+                (
+                    (
+                        masked_ids[lo:hi],
+                        attention[lo:hi],
+                        target_ids[lo:hi],
+                        target_mask[lo:hi],
+                    ),
+                    hi - lo,
+                )
+            )
+        return shards if len(shards) >= 2 else None
+
+
 def mlm_warm_start(
     encoder: TransformerEncoder,
     tokenizer: Tokenizer,
     corpus: Sequence[str],
     config: Optional[MLMConfig] = None,
+    engine: Optional[TrainConfig] = None,
 ) -> MLMResult:
     """Train ``encoder`` in place with masked token prediction.
 
     80% of selected positions become ``[MASK]``, 10% a random token, 10% are
     kept, following BERT.  Returns the per-epoch mean loss trace.
+    ``engine`` passes training-engine knobs (gradient clipping,
+    accumulation, workers) through to the step loop.  The corpus is
+    tokenized exactly once up front (no per-epoch re-tokenization), so no
+    token cache is involved here.
     """
     config = config or MLMConfig()
     rng = spawn_rng(config.seed, "mlm")
     head = LMHead(encoder.config, spawn_rng(config.seed, "mlm-head"))
-    optimizer = AdamW(
-        encoder.parameters() + head.parameters(), lr=config.learning_rate
-    )
+    model = _MLMModel(encoder, head)
+    optimizer = AdamW(model.parameters(), lr=config.learning_rate)
     encoded = tokenizer.encode_batch(list(corpus), max_len=config.max_seq_len)
-    num_items = encoded.token_ids.shape[0]
-    losses: List[float] = []
 
-    for _ in range(config.epochs):
-        order = rng.permutation(num_items)
-        epoch_losses: List[float] = []
-        for start in range(0, num_items, config.batch_size):
-            batch_idx = order[start : start + config.batch_size]
-            token_ids = encoded.token_ids[batch_idx].copy()
-            attention = encoded.attention_mask[batch_idx]
-            masked_ids, target_ids, target_mask = _apply_masking(
-                token_ids, attention, tokenizer, config.mask_probability, rng
-            )
-            if not target_mask.any():
-                continue
-            hidden = encoder(masked_ids, attention_mask=attention)
-            logits = head(hidden)
-            rows, cols = np.nonzero(target_mask)
-            picked_logits = logits[rows, cols]
-            loss = cross_entropy(picked_logits, target_ids[rows, cols])
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
-    return MLMResult(losses=losses)
+    program = MLMProgram(encoded, tokenizer, config, rng)
+    trainer = Trainer(model, program, optimizer, config=engine)
+    state = trainer.fit(max_epochs=config.epochs)
+    return MLMResult(losses=list(state.epoch_losses))
 
 
 def _apply_masking(

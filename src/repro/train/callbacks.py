@@ -1,0 +1,158 @@
+"""Trainer callbacks: loss tracing, early stopping, periodic checkpoints.
+
+Callbacks observe the step loop without owning it.  The engine invokes
+them in registration order; configuration-driven callbacks (early stop,
+checkpointing) are appended automatically by the :class:`~repro.train.
+engine.Trainer` from its :class:`~repro.train.engine.TrainConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Trainer, TrainState
+
+PathLike = Union[str, Path]
+
+
+class Callback:
+    """Observer protocol for the engine's step loop.
+
+    ``on_step`` fires after every optimizer step, ``on_epoch_end`` after
+    an epoch's loss is recorded (``epoch`` is the 0-based index of the
+    epoch that just finished).  Callbacks may call
+    ``trainer.request_stop(reason)`` to end training at the next epoch
+    boundary.
+    """
+
+    def on_fit_begin(self, trainer: "Trainer", state: "TrainState") -> None:
+        """Called once before the first epoch (after a resume restore)."""
+
+    def on_step(
+        self, trainer: "Trainer", state: "TrainState", loss: float
+    ) -> None:
+        """Called after each optimizer step with the step's loss."""
+
+    def on_epoch_end(
+        self, trainer: "Trainer", state: "TrainState", epoch: int, loss: float
+    ) -> None:
+        """Called after each epoch with the epoch's mean loss."""
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        """Called once when the fit loop exits (any stop reason)."""
+
+    # -- checkpoint participation --------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable callback state for trainer checkpoints.
+
+        Stateful callbacks (e.g. :class:`EarlyStopping`'s best/stale
+        counters) must round-trip here so a resumed run continues with
+        the uninterrupted run's exact behaviour."""
+        return {}
+
+    def load_state_dict(self, values: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+
+
+class LossTrace(Callback):
+    """Records every step loss (the epoch means live on ``TrainState``)."""
+
+    def __init__(self) -> None:
+        self.step_losses: List[float] = []
+
+    def on_step(
+        self, trainer: "Trainer", state: "TrainState", loss: float
+    ) -> None:
+        self.step_losses.append(loss)
+
+
+class EarlyStopping(Callback):
+    """Stop when the epoch loss stops improving.
+
+    ``patience`` is the number of consecutive epochs the loss may fail to
+    improve by more than ``min_delta`` before training stops.  NaN epoch
+    losses (empty epochs) never count as improvements.
+    """
+
+    def __init__(self, patience: int, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.stale = 0
+
+    def on_fit_begin(self, trainer: "Trainer", state: "TrainState") -> None:
+        # A resumed checkpoint may already carry an expired patience (the
+        # prior run *finished* by early stopping); re-request the stop so
+        # the resume is a no-op instead of training extra epochs.
+        if self.stale >= self.patience:
+            trainer.request_stop(
+                f"early stop: no improvement for {self.stale} epoch(s)"
+            )
+
+    def on_epoch_end(
+        self, trainer: "Trainer", state: "TrainState", epoch: int, loss: float
+    ) -> None:
+        if not math.isnan(loss) and (
+            self.best is None or loss < self.best - self.min_delta
+        ):
+            self.best = loss
+            self.stale = 0
+            return
+        self.stale += 1
+        if self.stale >= self.patience:
+            trainer.request_stop(
+                f"early stop: no improvement for {self.stale} epoch(s)"
+            )
+
+    def state_dict(self) -> dict:
+        return {"best": self.best, "stale": self.stale}
+
+    def load_state_dict(self, values: dict) -> None:
+        best = values.get("best")
+        self.best = None if best is None else float(best)
+        self.stale = int(values.get("stale", 0))
+
+
+class Checkpointer(Callback):
+    """Write the trainer's full state every ``every`` epochs (and at the
+    final epoch), atomically, to ``directory / 'trainer_state.npz'``.
+
+    Full state means model weights, optimizer moments, LR-schedule
+    positions, RNG stream states, program state, and counters — enough
+    for :meth:`Trainer.fit(resume=True) <repro.train.engine.Trainer.fit>`
+    to reproduce the uninterrupted run byte-identically.
+    """
+
+    FILENAME = "trainer_state.npz"
+
+    def __init__(self, directory: PathLike, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("checkpoint every must be >= 1")
+        self.directory = Path(directory)
+        self.every = every
+
+    @property
+    def path(self) -> Path:
+        """The checkpoint file this callback writes."""
+        return self.directory / self.FILENAME
+
+    def on_epoch_end(
+        self, trainer: "Trainer", state: "TrainState", epoch: int, loss: float
+    ) -> None:
+        if (epoch + 1) % self.every == 0:
+            trainer.save_state(self.path)
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        # Always re-save at fit end: epoch-cadence saves run before the
+        # program's epoch hook, so the final archive must capture any
+        # last-epoch program state (e.g. the fine-tune best-F1 snapshot)
+        # and the definitive counters.
+        if state.epoch > 0:
+            trainer.save_state(self.path)

@@ -1,0 +1,186 @@
+"""Batch-preparation pipeline: tokenization caching and background prep.
+
+Two speed layers for the step loop:
+
+* :class:`TokenCache` — tokenize each corpus item **once** and serve every
+  later epoch from an id-cache keyed by the library-wide text fingerprint
+  (:func:`repro.utils.text_fingerprint`).  Tokenization is deterministic,
+  so cached batches are byte-identical to freshly encoded ones.
+* :func:`prefetched` — run a program's ``prepare`` (tokenize / augment /
+  mask) for the *next* batches on a background thread while the current
+  step's forward/backward runs.  Because every stochastic component draws
+  from its own named generator (see ``repro.utils.rng``) and the producer
+  prepares batches strictly in order, the RNG streams consume exactly the
+  sequences the serial loop would — prefetching changes wall-clock, never
+  results.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..utils import text_fingerprint
+
+
+class TokenCache:
+    """Fingerprint-keyed cache of per-item tokenizer encodings.
+
+    Wraps any tokenizer exposing ``encode(text, max_len) -> Encoding``;
+    because the tokenizer pads every item to the fixed ``max_len``, cached
+    rows are batch-independent and can be stacked into any batch shape.
+    Keys include ``max_len`` so one cache serves single-item and pair-length
+    encodings side by side.
+
+    ``capacity`` bounds the cache LRU-style (``None`` keeps everything —
+    the right default when the corpus is fixed, as in pre-training).
+    """
+
+    def __init__(self, tokenizer: Any, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.tokenizer = tokenizer
+        self.capacity = capacity
+        self._cache: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    def encode(self, text: str, max_len: int) -> Any:
+        """The cached per-item ``Encoding`` for ``text`` at ``max_len``."""
+        key = (text_fingerprint(text), max_len)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            if self.capacity is not None:
+                self._cache.move_to_end(key)
+            return cached
+        self.misses += 1
+        encoding = self.tokenizer.encode(text, max_len=max_len)
+        self._cache[key] = encoding
+        if self.capacity is not None and len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return encoding
+
+    def encode_batch(self, texts: Sequence[str], max_len: int) -> Any:
+        """Stacked batch ``Encoding`` assembled from cached per-item rows.
+
+        Byte-identical to ``tokenizer.encode_batch(texts, max_len)`` —
+        tokenization is deterministic and padding is fixed-length — but
+        each distinct item pays the tokenizer cost only once per cache
+        lifetime.
+        """
+        encodings = [self.encode(t, max_len) for t in texts]
+        first = encodings[0]
+        return type(first)(
+            token_ids=np.stack([e.token_ids for e in encodings]),
+            attention_mask=np.stack([e.attention_mask for e in encodings]),
+            segment_ids=np.stack([e.segment_ids for e in encodings]),
+        )
+
+    def warm(self, texts: Iterable[str], max_len: int) -> None:
+        """Pre-tokenize ``texts`` (the cold pass, amortized up front)."""
+        for text in texts:
+            self.encode(text, max_len)
+
+    def clear(self) -> None:
+        """Drop every cached encoding (e.g. after swapping tokenizers)."""
+        self._cache.clear()
+
+
+def permutation_batches(
+    rng: np.random.Generator, num_items: int, batch_size: int
+) -> Sequence[np.ndarray]:
+    """A shuffled epoch order chunked into batch-index arrays.
+
+    The common epoch-batching of the MLM and fine-tuning programs: one
+    permutation draw per epoch, consecutive slices of ``batch_size``
+    (the final slice may be short).
+    """
+    order = rng.permutation(num_items)
+    return [
+        order[start : start + batch_size]
+        for start in range(0, num_items, batch_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Background batch preparation
+# ----------------------------------------------------------------------
+_DONE = object()
+
+
+def prefetched(
+    batches: Sequence[Any],
+    prepare: Callable[[Any], Any],
+    depth: int,
+) -> Iterator[Any]:
+    """Yield ``prepare(batch)`` for each batch, prepared ``depth`` ahead.
+
+    With ``depth <= 0`` preparation runs inline (the serial loop).
+    Otherwise a single producer thread prepares batches strictly in order
+    — preserving every RNG stream's consumption sequence — and a bounded
+    queue hands them to the training step.  Producer exceptions re-raise
+    in the consumer; abandoning the iterator (early ``break``) stops the
+    producer promptly.
+    """
+    if depth <= 0:
+        for batch in batches:
+            yield prepare(batch)
+        return
+
+    work: "queue.Queue" = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def producer() -> None:
+        try:
+            for batch in batches:
+                if stop.is_set():
+                    return
+                item = prepare(batch)
+                while not stop.is_set():
+                    try:
+                        work.put(("item", item), timeout=0.05)
+                        break
+                    except queue.Full:
+                        continue
+                else:
+                    return
+            _put_final(("done", None))
+        except BaseException as error:  # noqa: BLE001 - re-raised in consumer
+            _put_final(("error", error))
+
+    def _put_final(message: Any) -> None:
+        while not stop.is_set():
+            try:
+                work.put(message, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+
+    thread = threading.Thread(target=producer, name="train-prefetch", daemon=True)
+    thread.start()
+    try:
+        while True:
+            kind, payload = work.get()
+            if kind == "done":
+                return
+            if kind == "error":
+                raise payload
+            yield payload
+    finally:
+        stop.set()
+        # Drain so a producer blocked on put() can observe the stop flag.
+        while True:
+            try:
+                work.get_nowait()
+            except queue.Empty:
+                break
+        thread.join(timeout=5.0)

@@ -1,7 +1,16 @@
-"""Shared utilities: seeded RNG management, timers, array buffers."""
+"""Shared utilities: seeded RNG management, timers, array buffers,
+content fingerprints."""
 
 from .arrays import grow_array
+from .fingerprint import text_fingerprint
 from .rng import RngStream, spawn_rng
 from .timing import Timer, timed
 
-__all__ = ["RngStream", "Timer", "grow_array", "spawn_rng", "timed"]
+__all__ = [
+    "RngStream",
+    "Timer",
+    "grow_array",
+    "spawn_rng",
+    "text_fingerprint",
+    "timed",
+]

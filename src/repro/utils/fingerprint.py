@@ -1,0 +1,16 @@
+"""Content fingerprints shared by every cache layer.
+
+One hashing scheme keys every text-addressed cache in the library — the
+:class:`~repro.serve.store.EmbeddingStore` vector cache and the training
+engine's :class:`~repro.train.data.TokenCache` — so a serialized record
+has a single stable identity across serving and training.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def text_fingerprint(text: str) -> str:
+    """Stable cache key for a serialized record (hex SHA-1 of the text)."""
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()

@@ -44,3 +44,39 @@ class RngStream:
         """Return a brand-new generator for ``name`` (resets the stream)."""
         self._children[name] = spawn_rng(self.seed, name)
         return self._children[name]
+
+    # ------------------------------------------------------------------
+    # Serialization (training checkpoint/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """JSON-serializable snapshot: root seed plus every child
+        generator's bit-generator state.
+
+        Restoring via :meth:`load_state_dict` makes each child continue
+        its sequence exactly where the snapshot left off — the invariant
+        byte-identical training resume depends on.
+        """
+        return {
+            "seed": self.seed,
+            "children": {
+                name: generator.bit_generator.state
+                for name, generator in self._children.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (in place).
+
+        Children are created on demand, so the stream need not have
+        handed out the same names yet; generators already handed out by
+        reference resume mid-sequence.  A root-seed mismatch raises
+        ``ValueError`` — resuming under a different seed would silently
+        mix two unrelated randomness plans.
+        """
+        if int(state["seed"]) != int(self.seed):
+            raise ValueError(
+                f"RngStream seed mismatch: snapshot has {state['seed']}, "
+                f"stream has {self.seed}"
+            )
+        for name, child_state in state["children"].items():
+            self.get(name).bit_generator.state = child_state

@@ -6,9 +6,10 @@ Two checks:
 * every relative markdown link in README.md and docs/ resolves to an
   existing file or directory (external http/https/mailto links are not
   fetched);
-* every public symbol in ``repro.api.__all__`` — the recommended API
-  surface — carries a docstring (the session API is documentation-first;
-  an undocumented export is a lint failure, not a style nit).
+* every public symbol in ``repro.api.__all__`` and ``repro.train.__all__``
+  — the recommended API surfaces — carries a docstring (the session API
+  and the training engine are documentation-first; an undocumented export
+  is a lint failure, not a style nit).
 
 Exit code 0 when both checks pass, 1 otherwise (failures listed on
 stderr).
@@ -53,29 +54,42 @@ def check_file(markdown: Path, root: Path) -> list:
     return broken
 
 
-def check_api_docstrings(root: Path) -> list:
-    """Return the ``repro.api.__all__`` symbols lacking a docstring.
+#: Packages whose ``__all__`` must be fully documented — the recommended
+#: API surfaces (the session API and the shared training engine).
+DOCUMENTED_PACKAGES = ("repro.api", "repro.train")
 
-    The package module itself is also checked.  ``repro`` is imported
-    from the repo's ``src/`` layout, so the check works without an
-    installed package.
+
+def check_api_docstrings(root: Path) -> list:
+    """Return the documented-package symbols lacking a docstring.
+
+    Every name in each :data:`DOCUMENTED_PACKAGES` module's ``__all__``
+    (and the module itself) must carry a docstring.  ``repro`` is
+    imported from the repo's ``src/`` layout, so the check works without
+    an installed package.
     """
+    import importlib
+
     sys.path.insert(0, str(root / "src"))
     try:
-        import repro.api as api
+        modules = [
+            importlib.import_module(name) for name in DOCUMENTED_PACKAGES
+        ]
     finally:
         sys.path.pop(0)
     undocumented = []
-    if not (api.__doc__ or "").strip():
-        undocumented.append("repro.api")
-    for name in api.__all__:
-        try:
-            symbol = getattr(api, name)
-        except AttributeError:
-            undocumented.append(f"repro.api.{name} (missing attribute)")
-            continue
-        if not (inspect.getdoc(symbol) or "").strip():
-            undocumented.append(f"repro.api.{name}")
+    for module in modules:
+        if not (module.__doc__ or "").strip():
+            undocumented.append(module.__name__)
+        for name in module.__all__:
+            try:
+                symbol = getattr(module, name)
+            except AttributeError:
+                undocumented.append(
+                    f"{module.__name__}.{name} (missing attribute)"
+                )
+                continue
+            if not (inspect.getdoc(symbol) or "").strip():
+                undocumented.append(f"{module.__name__}.{name}")
     return undocumented
 
 
@@ -95,7 +109,8 @@ def main() -> int:
         return 1
     print(
         f"docs lint ok: {checked} markdown files, all relative links "
-        "resolve; every repro.api export is documented"
+        f"resolve; every export of {', '.join(DOCUMENTED_PACKAGES)} is "
+        "documented"
     )
     return 0
 
