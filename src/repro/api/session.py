@@ -38,7 +38,7 @@ import numpy as np
 from ..core.config import SudowoodoConfig
 from ..core.encoder import SudowoodoEncoder
 from ..core.pretrain import PretrainResult, pretrain
-from ..serve import EmbeddingStore, ShardedMatchService
+from ..serve import EmbeddingStore, ServiceFrontend, ShardedMatchService
 from ..utils import Timer
 from .registry import Task, available_tasks, create_task
 
@@ -224,7 +224,11 @@ class SudowoodoSession:
         num_shards: Optional[int] = None,
         coalesce_window_ms: Optional[float] = None,
         index: bool = True,
-    ) -> ShardedMatchService:
+        frontend: bool = False,
+        max_queue_depth: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        priority_levels: Optional[int] = None,
+    ) -> Union[ShardedMatchService, ServiceFrontend]:
         """Export the session (optionally a fitted task) as a live service.
 
         Returns a thread-safe
@@ -238,6 +242,14 @@ class SudowoodoSession:
         / ``coalesce_window_ms`` override the config per service;
         ``index=False`` skips corpus indexing (call
         ``service.index_records`` yourself).
+
+        With ``frontend=True`` the service is wrapped in a
+        :class:`~repro.serve.frontend.ServiceFrontend` — the production
+        broker with bounded admission (``max_queue_depth``), per-request
+        deadlines (``default_deadline_ms``), priority scheduling
+        (``priority_levels``), a streaming metrics registry, and
+        zero-downtime blue/green ``reindex``; the three knobs override
+        the config's ``serve`` section per frontend.
         """
         bound: Optional[Task] = None
         if task is not None:
@@ -257,6 +269,12 @@ class SudowoodoSession:
             overrides["num_shards"] = num_shards
         if coalesce_window_ms is not None:
             overrides["coalesce_window_ms"] = coalesce_window_ms
+        if max_queue_depth is not None:
+            overrides["max_queue_depth"] = max_queue_depth
+        if default_deadline_ms is not None:
+            overrides["default_deadline_ms"] = default_deadline_ms
+        if priority_levels is not None:
+            overrides["priority_levels"] = priority_levels
         config = replace(self.config, **overrides) if overrides else self.config
         service = ShardedMatchService(
             self.encoder,
@@ -268,4 +286,6 @@ class SudowoodoSession:
             corpus = bound.corpus_texts()
             if corpus:
                 service.index_records(corpus)
+        if frontend:
+            return ServiceFrontend(service, config=service.config)
         return service

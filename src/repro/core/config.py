@@ -123,6 +123,16 @@ class SudowoodoConfig:
     num_shards: int = 1
     coalesce_window_ms: float = 2.0
     max_coalesce_batch: int = 64
+    # Front-end broker (serve.frontend): admission control + deadlines.
+    # max_queue_depth bounds admitted-but-unfinished requests — beyond it
+    # new arrivals are shed with a typed Overloaded error (None = never
+    # shed); default_deadline_ms is the per-request budget applied when
+    # search() passes no explicit deadline (None = wait indefinitely);
+    # priority_levels is how many priority classes the broker drains in
+    # order (level 0 = most urgent).
+    max_queue_depth: Optional[int] = None
+    default_deadline_ms: Optional[float] = None
+    priority_levels: int = 1
 
     # ----------------------------------------------------- training engine
     # Knobs of the shared step-loop runtime (repro.train.Trainer), used by
@@ -348,6 +358,12 @@ class SudowoodoConfig:
             raise ValueError("coalesce_window_ms must be >= 0")
         if self.max_coalesce_batch < 1:
             raise ValueError("max_coalesce_batch must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive or None")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive or None")
+        if self.priority_levels < 1:
+            raise ValueError("priority_levels must be >= 1")
         # Training-engine knobs share TrainConfig's own validation.
         self.train.validate()
 
@@ -420,7 +436,8 @@ class PseudoLabelConfig:
 @dataclass
 class ServeConfig:
     """Serving layer: ANN backend selection, LSH/HNSW knobs, embedding
-    store, and sharding/coalescing."""
+    store, sharding/coalescing, and the front-end broker (admission
+    control, deadlines, priorities)."""
 
     ann_backend: str = "exact"
     lsh_num_tables: int = 16
@@ -433,6 +450,9 @@ class ServeConfig:
     num_shards: int = 1
     coalesce_window_ms: float = 2.0
     max_coalesce_batch: int = 64
+    max_queue_depth: Optional[int] = None
+    default_deadline_ms: Optional[float] = None
+    priority_levels: int = 1
 
 
 @dataclass

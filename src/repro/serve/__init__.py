@@ -26,6 +26,14 @@ discovery.  This package makes that reuse concrete at serving time:
   queried in parallel) and concurrent ``search`` callers are coalesced
   into single batched encoder/backend calls.  Enabled by
   ``SudowoodoConfig(num_shards=...)``.
+* :class:`ServiceFrontend` / :class:`RequestBroker` /
+  :class:`MetricsRegistry` — the production front end: bounded
+  admission with typed :class:`Overloaded` shedding, deadline- and
+  priority-aware batching with typed :class:`DeadlineExceeded` expiry,
+  streaming p50/p99 metrics, and zero-downtime blue/green
+  ``reindex(new_encoder)``.  Configured by ``max_queue_depth`` /
+  ``default_deadline_ms`` / ``priority_levels`` and returned by
+  ``session.serve(..., frontend=True)``.
 """
 
 from .backends import (
@@ -37,7 +45,17 @@ from .backends import (
     build_backend,
     register_backend,
 )
+from .frontend import (
+    DeadlineExceeded,
+    MonotonicClock,
+    Overloaded,
+    RequestBroker,
+    RequestError,
+    ServiceFrontend,
+    build_frontend,
+)
 from .hnsw import HNSWIndex
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .service import MatchService
 from .sharding import (
     QueryCoalescer,
@@ -50,18 +68,29 @@ from .store import EmbeddingStore
 
 __all__ = [
     "ANNBackend",
+    "Counter",
+    "DeadlineExceeded",
     "EmbeddingStore",
     "ExactBackend",
+    "Gauge",
     "HNSWBackend",
     "HNSWIndex",
+    "Histogram",
     "LSHBackend",
     "MatchService",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "Overloaded",
     "QueryCoalescer",
     "ReadWriteLock",
+    "RequestBroker",
+    "RequestError",
+    "ServiceFrontend",
     "ShardedBackend",
     "ShardedMatchService",
     "available_backends",
     "build_backend",
+    "build_frontend",
     "register_backend",
     "shard_assignments",
 ]

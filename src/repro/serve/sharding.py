@@ -338,6 +338,11 @@ class ShardedBackend(ANNBackend):
             results = [future.result() for future in futures]
         return _merge_topk(results, k)
 
+    def shard_sizes(self) -> List[int]:
+        """Live record count per shard (one consistent snapshot)."""
+        with _all_locked(self._locks, write=False):
+            return [len(shard) for shard in self._shards]
+
 
 def _merge_topk(
     results: Sequence[Tuple[np.ndarray, np.ndarray]], k: int
@@ -386,9 +391,13 @@ class QueryCoalescer:
     trimmed to its own ``k``.  Leadership is released only once the
     queue is empty, so followers are never stranded.  A single request
     carrying more than ``max_batch`` texts runs alone as one oversized
-    chunk (requests are never split).  Followers block on an event;
-    exceptions in a chunk are re-raised in each of that chunk's
-    callers.
+    chunk (requests are never split).  Followers block on an event.
+
+    Errors are delivered **per request**: when a multi-request chunk
+    raises, each member is retried alone (counted in
+    ``stats()["isolations"]``) so one poisoned query fails only its own
+    caller instead of the whole batch; a request that fails alone
+    re-raises in its caller only.
 
     With ``window_ms == 0`` the leader drains immediately: no latency is
     added, and only requests that arrived while a batch was in flight
@@ -400,6 +409,7 @@ class QueryCoalescer:
         run_batch: Callable[[List[str], int], Tuple[np.ndarray, np.ndarray]],
         window_ms: float = 2.0,
         max_batch: int = 64,
+        metrics=None,
     ) -> None:
         if window_ms < 0:
             raise ValueError("window_ms must be >= 0")
@@ -408,6 +418,10 @@ class QueryCoalescer:
         self._run_batch = run_batch
         self.window_ms = window_ms
         self.max_batch = max_batch
+        #: Optional :class:`~repro.serve.metrics.MetricsRegistry`; when
+        #: bound, per-batch sizes stream into the ``coalesce.batch_size``
+        #: histogram alongside the plain counters below.
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._pending: List[_CoalesceRequest] = []
         self._full = threading.Event()
@@ -416,9 +430,11 @@ class QueryCoalescer:
         self.requests = 0
         self.batches = 0
         self.batched_queries = 0
+        self.isolations = 0
 
     def stats(self) -> Dict[str, float]:
-        """Coalescing counters: requests, batches, mean queries/batch."""
+        """Coalescing counters: requests, batches, mean queries/batch,
+        and how many failed chunks were isolated into per-request runs."""
         with self._lock:
             return {
                 "requests": float(self.requests),
@@ -426,6 +442,7 @@ class QueryCoalescer:
                 "mean_batch_size": (
                     self.batched_queries / self.batches if self.batches else 0.0
                 ),
+                "isolations": float(self.isolations),
             }
 
     def submit(
@@ -476,21 +493,44 @@ class QueryCoalescer:
         return request.result
 
     def _execute(self, batch: List[_CoalesceRequest]) -> None:
-        """Run one batch and deliver per-request results (or the error).
+        """Run one batch and deliver per-request results (or errors).
 
         Never raises: the leader keeps draining later chunks even when
         one batch fails, and every caller — leader included — re-raises
-        from its own request's ``error`` slot.
+        from its own request's ``error`` slot.  A failing multi-request
+        chunk is split and retried one request at a time, so an error
+        tied to a single poisoned query reaches only that query's caller
+        while its batch-mates still get answers.
         """
         try:
             all_texts = [text for r in batch for text in r.texts]
             max_k = max(r.k for r in batch)
             ids, scores = self._run_batch(all_texts, max_k)
-        except BaseException as exc:  # deliver to every waiter in the batch
+        except BaseException as exc:
+            if len(batch) == 1:  # already isolated: deliver as-is
+                batch[0].error = exc
+                batch[0].done.set()
+                return
+            with self._lock:
+                self.isolations += 1
+            if self.metrics is not None:
+                self.metrics.counter("coalesce.isolations").increment()
             for r in batch:
-                r.error = exc
+                try:
+                    solo_ids, solo_scores = self._run_batch(r.texts, r.k)
+                except BaseException as solo_exc:
+                    r.error = solo_exc
+                else:
+                    r.result = (
+                        solo_ids[:, : r.k],
+                        solo_scores[:, : r.k],
+                    )
                 r.done.set()
             return
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "coalesce.batch_size", lowest=1.0, highest=1e5, growth=1.05
+            ).record(len(all_texts))
         start = 0
         for r in batch:
             stop = start + len(r.texts)
@@ -540,6 +580,7 @@ class ShardedMatchService(MatchService):
         num_shards: Optional[int] = None,
         coalesce_window_ms: Optional[float] = None,
         max_coalesce_batch: Optional[int] = None,
+        metrics=None,
     ) -> None:
         super().__init__(encoder, config=config, store=store, matcher=matcher)
         overrides = {}
@@ -566,6 +607,7 @@ class ShardedMatchService(MatchService):
             self._search_batch,
             window_ms=self.config.coalesce_window_ms,
             max_batch=self.config.max_coalesce_batch,
+            metrics=metrics,
         )
 
     def _build_live_backend(self) -> ANNBackend:
@@ -623,6 +665,26 @@ class ShardedMatchService(MatchService):
         if self._live_backend is None:
             raise RuntimeError("no live index; call index_records() first")
         return self._coalescer.submit(texts, k)
+
+    def search_batch(
+        self, texts: Sequence[str], k: int = 10
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Serve one already-formed batch, bypassing the coalescer.
+
+        The hook for callers that batch *upstream* — notably
+        :class:`~repro.serve.frontend.ServiceFrontend`'s request broker,
+        whose deadline-aware batches must not queue a second time behind
+        the coalescer window.  Thread-safe like :meth:`search`; per-call
+        semantics are identical to :meth:`MatchService.search`.
+        """
+        return self._search_batch(list(texts), k)
+
+    def live_texts(self) -> List[str]:
+        """The live corpus in ascending record-id order (a snapshot
+        consistent with concurrent mutations — the blue/green reindex
+        reads its corpus through this)."""
+        with self._store_lock:
+            return [text for _, text in sorted(self._live_texts.items())]
 
     def _search_batch(
         self, texts: List[str], k: int

@@ -91,6 +91,9 @@ class EmbeddingStore:
         self._next_id = 0
         self.hits = 0
         self.misses = 0
+        # Optional MetricsRegistry mirror of the hit/miss counters (set
+        # via bind_metrics); None keeps the hot path metric-free.
+        self._metrics = None
 
     # ------------------------------------------------------------------
     # Keys
@@ -142,6 +145,19 @@ class EmbeddingStore:
                 "size": float(len(self._cache)),
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }
+
+    def bind_metrics(self, metrics) -> None:
+        """Stream cache hits/misses into ``metrics`` (a
+        :class:`~repro.serve.metrics.MetricsRegistry`) as the
+        ``store.hits`` / ``store.misses`` counters.
+
+        Rebinding replaces the previous registry; the store's own
+        :meth:`stats` counters are unaffected either way.  Counter
+        increments happen after each embed batch resolves (one
+        delta-sized increment per call, not one per text).
+        """
+        with self.lock:
+            self._metrics = metrics
 
     def clear(self) -> None:
         """Drop every cached vector (counters and id assignments are
@@ -260,6 +276,19 @@ class EmbeddingStore:
             return self._embed_batch_locked(texts, normalize, chunk_size, cache)
 
     def _embed_batch_locked(self, texts, normalize, chunk_size, cache):
+        hits_before, misses_before = self.hits, self.misses
+        try:
+            return self._resolve_batch_locked(texts, normalize, chunk_size, cache)
+        finally:
+            if self._metrics is not None:
+                hit_delta = self.hits - hits_before
+                miss_delta = self.misses - misses_before
+                if hit_delta:
+                    self._metrics.counter("store.hits").increment(hit_delta)
+                if miss_delta:
+                    self._metrics.counter("store.misses").increment(miss_delta)
+
+    def _resolve_batch_locked(self, texts, normalize, chunk_size, cache):
         keys = [self.fingerprint(text) for text in texts]
         resolved: Dict[str, np.ndarray] = {}
         missing: "OrderedDict[str, str]" = OrderedDict()

@@ -1,0 +1,250 @@
+"""Property tests for the serving metrics primitives.
+
+Seeded-random property style (matching ``tests/conftest.py``: fixed
+``TEST_SEED``-derived generators, no third-party property-test
+dependency): each property is checked across a grid of seeds and input
+distributions rather than hand-picked examples.
+
+The two contracts that matter:
+
+* **Histogram quantiles are within tolerance of exact.**  The
+  log-bucketed estimate's relative error is bounded by the bucket
+  geometry — ``sqrt(growth) - 1`` plus one growth factor of slack for
+  boundary log-rounding (~8% total at the default ``growth=1.05``) —
+  for every distribution thrown at it, including adversarial
+  boundary-heavy and constant streams.
+* **Counters are exact under concurrency.**  No increments are lost
+  across racing threads (stress-marked, like the rest of
+  ``tests/serve``).
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import Counter, Gauge, Histogram, MetricsRegistry
+
+# Relative tolerance for quantile estimates at growth=1.05: geometric
+# midpoint error sqrt(1.05)-1 ~ 2.5%, plus up to one extra growth factor
+# when float log rounds a boundary value into the neighbouring bucket
+# (1.05**1.5 - 1 ~ 7.6%).
+GROWTH = 1.05
+QUANTILE_RTOL = GROWTH ** 1.5 - 1 + 1e-9
+
+QUANTILES = (0.5, 0.9, 0.99, 1.0)
+
+
+def exact_quantile(values: np.ndarray, q: float) -> float:
+    """The ceil(q*n)-th order statistic — the histogram's target."""
+    ordered = np.sort(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def distributions(rng: np.random.Generator, size: int):
+    """A spread of latency-like shapes, all within the default range."""
+    return {
+        "uniform": rng.uniform(1e-4, 5.0, size),
+        "log_uniform": np.exp(rng.uniform(np.log(1e-5), np.log(1e3), size)),
+        "lognormal": np.minimum(rng.lognormal(-3.0, 1.5, size), 9e3),
+        "exponential": rng.exponential(0.05, size) + 1e-6,
+        "bimodal": np.where(
+            rng.random(size) < 0.9,
+            rng.uniform(0.001, 0.01, size),
+            rng.uniform(1.0, 2.0, size),
+        ),
+        # Adversarial: values sitting exactly on bucket boundaries.
+        "boundaries": 1e-6 * GROWTH ** rng.integers(0, 400, size),
+        "constant": np.full(size, 0.0123),
+    }
+
+
+class TestHistogramQuantileProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            "uniform",
+            "log_uniform",
+            "lognormal",
+            "exponential",
+            "bimodal",
+            "boundaries",
+            "constant",
+        ],
+    )
+    def test_quantiles_within_tolerance_of_exact(self, seed, dist):
+        rng = np.random.default_rng(1000 + seed)
+        values = distributions(rng, size=int(rng.integers(100, 4000)))[dist]
+        histogram = Histogram(growth=GROWTH)
+        for value in values:
+            histogram.record(value)
+        assert histogram.count == len(values)
+        for q in QUANTILES:
+            exact = exact_quantile(values, q)
+            estimate = histogram.quantile(q)
+            assert estimate == pytest.approx(exact, rel=QUANTILE_RTOL), (
+                f"{dist} seed={seed} q={q}: estimate {estimate} vs "
+                f"exact {exact}"
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_estimates_clamped_to_observed_range(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        # Include out-of-range samples: below `lowest` and above `highest`.
+        values = np.concatenate(
+            [
+                rng.uniform(1e-9, 1e-6, 20),  # underflow bucket
+                rng.uniform(0.001, 1.0, 200),
+                rng.uniform(1e4, 1e6, 20),  # overflow bucket
+            ]
+        )
+        rng.shuffle(values)
+        histogram = Histogram()
+        for value in values:
+            histogram.record(value)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            estimate = histogram.quantile(q)
+            assert values.min() <= estimate <= values.max()
+        # The extremes are reported exactly, not as bucket midpoints.
+        assert histogram.quantile(1.0) == pytest.approx(values.max())
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == pytest.approx(values.min())
+        assert snapshot["max"] == pytest.approx(values.max())
+        assert snapshot["mean"] == pytest.approx(values.mean())
+        assert snapshot["count"] == len(values)
+
+    def test_empty_and_single_sample(self):
+        histogram = Histogram()
+        assert math.isnan(histogram.quantile(0.5))
+        assert histogram.snapshot() == {"count": 0}
+        histogram.record(0.25)
+        for q in (0.01, 0.5, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.25, rel=QUANTILE_RTOL)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram(lowest=0.0)
+        with pytest.raises(ValueError):
+            Histogram(lowest=1.0, highest=0.5)
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestCountersAndGauges:
+    def test_counter_increments_exactly(self):
+        counter = Counter()
+        for _ in range(10):
+            counter.increment()
+        counter.increment(5)
+        assert counter.value == 15
+
+    def test_gauge_last_value_wins(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counter_exact_under_concurrent_increments(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        counter = Counter()
+        amounts = [int(rng.integers(1, 5)) for _ in range(8)]
+        per_thread = 5000
+        barrier = threading.Barrier(8)
+
+        def hammer(amount):
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.increment(amount)
+
+        threads = [
+            threading.Thread(target=hammer, args=(amount,), daemon=True)
+            for amount in amounts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert counter.value == per_thread * sum(amounts)
+
+    @pytest.mark.stress
+    def test_histogram_loses_no_samples_under_concurrency(self):
+        histogram = Histogram()
+        rng = np.random.default_rng(0)
+        per_thread = 4000
+        samples = [rng.uniform(1e-4, 10.0, per_thread) for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def hammer(values):
+            barrier.wait()
+            for value in values:
+                histogram.record(value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(values,), daemon=True)
+            for values in samples
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        merged = np.concatenate(samples)
+        assert histogram.count == len(merged)
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == pytest.approx(merged.min())
+        assert snapshot["max"] == pytest.approx(merged.max())
+        assert snapshot["mean"] == pytest.approx(merged.mean())
+        # The quantile property holds on the merged stream too.
+        for q in (0.5, 0.99):
+            assert histogram.quantile(q) == pytest.approx(
+                exact_quantile(merged, q), rel=QUANTILE_RTOL
+            )
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").increment(2)
+        registry.counter("a.count").increment()
+        registry.gauge("gen").set(3)
+        registry.histogram("lat").record(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.count": 1, "b.count": 2}
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+        assert snapshot["gauges"] == {"gen": 3.0}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        # Wire format: JSON-serializable all the way down.
+        import json
+
+        json.dumps(snapshot)
+
+    def test_timed_records_elapsed_with_injected_clock(self):
+        ticks = iter([10.0, 10.25, 20.0, 20.5])
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        with registry.timed("op"):
+            pass
+        # Failures are timed too.
+        with pytest.raises(RuntimeError):
+            with registry.timed("op"):
+                raise RuntimeError("boom")
+        histogram = registry.histogram("op")
+        assert histogram.count == 2
+        assert histogram.snapshot()["min"] == pytest.approx(0.25)
+        assert histogram.snapshot()["max"] == pytest.approx(0.5)
