@@ -133,6 +133,7 @@ class SudowoodoSession:
             encoder,
             batch_size=self.config.serve_batch_size,
             capacity=self.config.embed_cache_capacity,
+            dtype=self.config.store_dtype,
         )
         self.pretrain_result = pretrain_result
         self._tasks = {}

@@ -109,10 +109,22 @@ class SudowoodoConfig:
     hnsw_m: int = 16
     hnsw_ef_construction: int = 120
     hnsw_ef_search: int = 12
+    # IVF-PQ backend knobs (serve.ivfpq): coarse k-means cell count,
+    # product-quantization subvectors per vector (dim must divide evenly),
+    # bits per PQ code (codebook size 2**bits, max 8 = one byte per code),
+    # and how many cells each query probes (recall/latency dial).
+    ivf_cells: int = 64
+    pq_subvectors: int = 8
+    pq_bits: int = 8
+    nprobe: int = 8
     # EmbeddingStore: encode chunk size and optional LRU cache bound
     # (None = cache every vector, the right default for batch pipelines).
     serve_batch_size: int = 64
     embed_cache_capacity: Optional[int] = None
+    # In-RAM precision of served vectors (EmbeddingStore cache + backend
+    # corpus rows): float32 halves RSS vs the seed's float64 at ~1e-7
+    # score error; pin "float64" for byte-identical exactness.
+    store_dtype: str = "float32"
     # Sharded serving (serve.sharding): with num_shards > 1 the ANN index
     # is hash-partitioned across per-shard backends queried in parallel,
     # and SudowoodoPipeline.match_service() returns the thread-safe
@@ -348,6 +360,19 @@ class SudowoodoConfig:
             raise ValueError(
                 "hnsw_ef_construction and hnsw_ef_search must be positive"
             )
+        if self.ivf_cells < 1:
+            raise ValueError("ivf_cells must be >= 1")
+        if self.pq_subvectors < 1:
+            raise ValueError("pq_subvectors must be >= 1")
+        if not 1 <= self.pq_bits <= 8:
+            raise ValueError("pq_bits must be in [1, 8]")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.store_dtype not in VALID_STORE_DTYPES:
+            raise ValueError(
+                f"unknown store_dtype {self.store_dtype!r}; "
+                f"valid options: {', '.join(VALID_STORE_DTYPES)}"
+            )
         if self.serve_batch_size < 1:
             raise ValueError("serve_batch_size must be positive")
         if self.embed_cache_capacity is not None and self.embed_cache_capacity < 1:
@@ -445,8 +470,13 @@ class ServeConfig:
     hnsw_m: int = 16
     hnsw_ef_construction: int = 120
     hnsw_ef_search: int = 12
+    ivf_cells: int = 64
+    pq_subvectors: int = 8
+    pq_bits: int = 8
+    nprobe: int = 8
     serve_batch_size: int = 64
     embed_cache_capacity: Optional[int] = None
+    store_dtype: str = "float32"
     num_shards: int = 1
     coalesce_window_ms: float = 2.0
     max_coalesce_batch: int = 64
@@ -498,6 +528,11 @@ VALID_POOLINGS = ("cls", "mean")
 
 #: Valid ``cutoff_kind`` values (see ``augment.cutoff``).
 VALID_CUTOFF_KINDS = ("token", "feature", "span", "none")
+
+#: Valid ``store_dtype`` values (in-RAM precision of served vectors; the
+#: on-disk ``serve.vecstore.MemmapVectorStore`` additionally supports
+#: ``int8`` scalar quantization via its own ``dtype`` argument).
+VALID_STORE_DTYPES = ("float64", "float32", "float16")
 
 
 def _valid_da_operators() -> Tuple[str, ...]:

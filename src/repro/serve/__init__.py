@@ -16,6 +16,14 @@ discovery.  This package makes that reuse concrete at serving time:
   patched in place instead of rebuilt under churn.
 * :class:`HNSWIndex` — the pure-numpy hierarchical small-world graph
   powering the ``"hnsw"`` backend (sublinear per-query latency).
+* :class:`IVFPQBackend` / :class:`ProductQuantizer` /
+  :class:`MemmapVectorStore` — the million-record storage tier: coarse
+  k-means cells + product-quantized residuals behind the ``"ivfpq"``
+  backend (asymmetric-distance queries, ``nprobe`` recall dial, ~8-32x
+  vector compression) and a memory-mapped on-disk vector store with the
+  same stable-id contract as :class:`EmbeddingStore`, so corpora can
+  exceed RAM.  Configured by ``ivf_cells`` / ``pq_subvectors`` /
+  ``pq_bits`` / ``nprobe`` / ``store_dtype``.
 * :class:`MatchService` — a request-level facade exposing
   ``embed_batch`` / ``block`` / ``match_pairs`` plus the streaming
   ``index_records`` / ``upsert_records`` / ``delete_records`` /
@@ -55,6 +63,7 @@ from .frontend import (
     build_frontend,
 )
 from .hnsw import HNSWIndex
+from .ivfpq import IVFPQBackend, ProductQuantizer
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .service import MatchService
 from .sharding import (
@@ -65,6 +74,7 @@ from .sharding import (
     shard_assignments,
 )
 from .store import EmbeddingStore
+from .vecstore import MemmapVectorStore, dequantize_rows, quantize_rows
 
 __all__ = [
     "ANNBackend",
@@ -76,8 +86,11 @@ __all__ = [
     "HNSWBackend",
     "HNSWIndex",
     "Histogram",
+    "IVFPQBackend",
     "LSHBackend",
     "MatchService",
+    "MemmapVectorStore",
+    "ProductQuantizer",
     "MetricsRegistry",
     "MonotonicClock",
     "Overloaded",
@@ -91,6 +104,8 @@ __all__ = [
     "available_backends",
     "build_backend",
     "build_frontend",
+    "dequantize_rows",
+    "quantize_rows",
     "register_backend",
     "shard_assignments",
 ]

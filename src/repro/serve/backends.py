@@ -129,18 +129,38 @@ def _check_remove_ids(ids: Sequence[int]) -> np.ndarray:
     return id_array
 
 
+#: In-RAM storage dtypes a backend may keep its corpus in.  Scores are
+#: always computed in float64 (``cosine_matrix`` upcasts), so the knob
+#: trades resident memory for (tiny) rounding in the stored vectors.
+BACKEND_DTYPES = ("float64", "float32", "float16")
+
+
+def _check_backend_dtype(dtype: str) -> np.dtype:
+    if dtype not in BACKEND_DTYPES:
+        raise ValueError(
+            f"unknown backend storage dtype {dtype!r}; "
+            f"valid options: {', '.join(BACKEND_DTYPES)}"
+        )
+    return np.dtype(dtype)
+
+
 class ExactBackend(ANNBackend):
     """Brute-force cosine top-k — exact results, O(N) per query.
 
     Mutations are trivial here: ``add`` appends (or overwrites) rows in
     a capacity-doubling buffer (amortized O(1) per insert, no full-copy
     per call), ``remove`` drops them; no index structure exists to patch.
+
+    ``dtype`` selects the in-RAM storage precision of the corpus rows
+    (float64 keeps the seed's byte-identical scores; float32 halves RSS
+    and is the serving default through ``SudowoodoConfig.store_dtype``).
     """
 
     name = "exact"
     supports_updates = True
 
-    def __init__(self) -> None:
+    def __init__(self, dtype: str = "float64") -> None:
+        self._dtype = _check_backend_dtype(dtype)
         self._vectors: Optional[np.ndarray] = None  # capacity buffer
         self._size = 0
         self._ids: np.ndarray = np.empty(0, dtype=np.int64)  # same capacity
@@ -160,14 +180,14 @@ class ExactBackend(ANNBackend):
     def build(self, vectors: np.ndarray) -> "ExactBackend":
         # Copy: add() may later overwrite rows in place, and the caller's
         # array must not be mutated through the old aliasing behaviour.
-        self._vectors = np.array(vectors, dtype=np.float64)
+        self._vectors = np.array(vectors, dtype=self._dtype)
         self._size = self._vectors.shape[0]
         self._ids = np.arange(self._size, dtype=np.int64)
         self._id_to_row = {int(i): int(i) for i in range(self._size)}
         return self
 
     def add(self, ids: Sequence[int], vectors: np.ndarray) -> "ExactBackend":
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = np.asarray(vectors, dtype=self._dtype)
         if self._vectors is None:
             if vectors.ndim != 2:
                 raise ValueError("expected (N, dim) vectors")
@@ -330,11 +350,15 @@ class _SlotIndexBackend(ANNBackend):
     ``query_batch`` over positional *slots* with tombstones — so the
     stable-id bookkeeping (including the tombstone-then-insert upsert
     dance) lives here exactly once.  Subclasses supply :meth:`_make_index`.
+
+    ``dtype`` is the precision vectors are handed to the wrapped index
+    in (the index stores them as given, so float32 halves its RSS).
     """
 
     supports_updates = True
 
-    def __init__(self) -> None:
+    def __init__(self, dtype: str = "float64") -> None:
+        self._dtype = _check_backend_dtype(dtype)
         self._index = None
         self._ids = _SlotIdMap()
 
@@ -352,7 +376,7 @@ class _SlotIndexBackend(ANNBackend):
         return 0 if self._index is None else self._index.num_alive
 
     def build(self, vectors: np.ndarray) -> "_SlotIndexBackend":
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = np.asarray(vectors, dtype=self._dtype)
         if vectors.ndim != 2:
             raise ValueError("expected (N, dim) vectors")
         self._index = self._make_index(vectors.shape[1]).build(vectors)
@@ -364,7 +388,7 @@ class _SlotIndexBackend(ANNBackend):
         return self
 
     def add(self, ids: Sequence[int], vectors: np.ndarray) -> "_SlotIndexBackend":
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = np.asarray(vectors, dtype=self._dtype)
         if self._index is None:
             if vectors.ndim != 2:
                 raise ValueError("expected (N, dim) vectors")
@@ -395,7 +419,7 @@ class _SlotIndexBackend(ANNBackend):
 
     def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         index = self._require_index("query")
-        slots, scores = index.query_batch(np.asarray(queries, dtype=np.float64), k)
+        slots, scores = index.query_batch(np.asarray(queries, dtype=self._dtype), k)
         return self._ids.translate(slots), scores
 
 
@@ -413,8 +437,14 @@ class LSHBackend(_SlotIndexBackend):
 
     name = "lsh"
 
-    def __init__(self, num_tables: int = 16, num_bits: int = 8, seed: int = 0) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        num_tables: int = 16,
+        num_bits: int = 8,
+        seed: int = 0,
+        dtype: str = "float64",
+    ) -> None:
+        super().__init__(dtype=dtype)
         self.num_tables = num_tables
         self.num_bits = num_bits
         self.seed = seed
@@ -446,8 +476,9 @@ class HNSWBackend(_SlotIndexBackend):
         ef_construction: int = 120,
         ef_search: int = 12,
         seed: int = 0,
+        dtype: str = "float64",
     ) -> None:
-        super().__init__()
+        super().__init__(dtype=dtype)
         self.m = m
         self.ef_construction = ef_construction
         self.ef_search = ef_search
@@ -468,19 +499,34 @@ class HNSWBackend(_SlotIndexBackend):
 # ----------------------------------------------------------------------
 BackendFactory = Callable[[SudowoodoConfig], ANNBackend]
 
+def _make_ivfpq(config: SudowoodoConfig) -> ANNBackend:
+    from .ivfpq import IVFPQBackend  # deferred: ivfpq imports backends
+
+    return IVFPQBackend(
+        num_cells=config.ivf_cells,
+        num_subvectors=config.pq_subvectors,
+        bits=config.pq_bits,
+        nprobe=config.nprobe,
+        seed=config.seed,
+    )
+
+
 _BACKENDS: Dict[str, BackendFactory] = {
-    "exact": lambda config: ExactBackend(),
+    "exact": lambda config: ExactBackend(dtype=config.store_dtype),
     "lsh": lambda config: LSHBackend(
         num_tables=config.lsh_num_tables,
         num_bits=config.lsh_num_bits,
         seed=config.seed,
+        dtype=config.store_dtype,
     ),
     "hnsw": lambda config: HNSWBackend(
         m=config.hnsw_m,
         ef_construction=config.hnsw_ef_construction,
         ef_search=config.hnsw_ef_search,
         seed=config.seed,
+        dtype=config.store_dtype,
     ),
+    "ivfpq": _make_ivfpq,
 }
 
 

@@ -559,6 +559,7 @@ class ServiceFrontend:
                         new_encoder,
                         batch_size=self.config.serve_batch_size,
                         capacity=self.config.embed_cache_capacity,
+                        dtype=self.config.store_dtype,
                     )
                 shadow = ShardedMatchService(
                     new_encoder,

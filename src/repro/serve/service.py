@@ -79,6 +79,7 @@ class MatchService:
                 encoder,
                 batch_size=self.config.serve_batch_size,
                 capacity=self.config.embed_cache_capacity,
+                dtype=self.config.store_dtype,
             )
         self.store = store
         self._backend = backend

@@ -58,21 +58,36 @@ class EmbeddingStore:
     capacity:
         Optional LRU bound on the number of cached vectors (``None`` keeps
         everything — the right default for corpus-at-a-time pipelines).
+    dtype:
+        In-RAM precision of cached vectors: ``"float64"`` (the default,
+        byte-identical to the seed behaviour), ``"float32"`` (halves
+        cache RSS — the serving default via
+        ``SudowoodoConfig.store_dtype``), or ``"float16"``.
     """
+
+    #: Cache precisions the ``dtype`` knob accepts.
+    DTYPES = ("float64", "float32", "float16")
 
     def __init__(
         self,
         encoder: SudowoodoEncoder,
         batch_size: int = 64,
         capacity: Optional[int] = None,
+        dtype: str = "float64",
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be positive or None")
+        if dtype not in self.DTYPES:
+            raise ValueError(
+                f"unknown store dtype {dtype!r}; "
+                f"valid options: {', '.join(self.DTYPES)}"
+            )
         self.encoder = encoder
         self.batch_size = batch_size
         self.capacity = capacity
+        self.dtype = np.dtype(dtype)
         # One reentrant mutex per store, acquired by every state-touching
         # public method (even cache hits mutate: LRU move-to-end, hit
         # counters).  Reentrant so a concurrent consumer — e.g. a
@@ -310,17 +325,17 @@ class EmbeddingStore:
                 normalize=False,
             )
             for row, key in enumerate(missing):
-                vector = np.asarray(encoded[row], dtype=np.float64)
+                vector = np.asarray(encoded[row], dtype=self.dtype)
                 resolved[key] = vector
                 if cache:
                     self._insert(key, vector)
         if not keys:
-            return np.zeros((0, self.dim))
+            return np.zeros((0, self.dim), dtype=self.dtype)
         matrix = np.vstack([resolved[key] for key in keys])
         return _normalize_rows(matrix) if normalize else matrix
 
     def _insert(self, key: str, vector: np.ndarray) -> None:
-        self._cache[key] = np.asarray(vector, dtype=np.float64)
+        self._cache[key] = np.asarray(vector, dtype=self.dtype)
         self._cache.move_to_end(key)
         if self.capacity is not None:
             while len(self._cache) > self.capacity:

@@ -1,6 +1,6 @@
 """Text substrate: tokenization, TF-IDF, clustering, similarity, MLM."""
 
-from .kmeans import KMeansResult, kmeans
+from .kmeans import KMeansResult, assign_clusters, kmeans, minibatch_kmeans
 from .lm_pretrain import MLMConfig, MLMResult, mlm_warm_start
 from .lsh import LSHIndex
 from .similarity import (
@@ -42,11 +42,13 @@ __all__ = [
     "TfidfVectorizer",
     "UNK",
     "VAL",
+    "assign_clusters",
     "cosine",
     "cosine_matrix",
     "jaccard",
     "kmeans",
     "levenshtein",
+    "minibatch_kmeans",
     "mlm_warm_start",
     "overlap_coefficient",
     "top_k_cosine",

@@ -2,12 +2,20 @@
 
 The paper picks k-means because its running time is linear in corpus size,
 making it cheap to recluster the pre-training corpus (Section IV-B).
+
+Beyond the batch :func:`kmeans` the module exposes the two primitives the
+product-quantization trainer (``serve.ivfpq``) builds on:
+
+* :func:`assign_clusters` — nearest-center labels (plus squared
+  distances) for a fixed, already-trained codebook;
+* :func:`minibatch_kmeans` — Sculley-style mini-batch updates for
+  corpora where full Lloyd iterations would scan millions of rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -56,21 +64,112 @@ def kmeans(
         labels = distances.argmin(axis=1)
         new_inertia = float(distances[np.arange(n), labels].sum())
         new_centers = centers.copy()
+        empty: List[int] = []
         for cluster_id in range(num_clusters):
             members = features[labels == cluster_id]
             if len(members):
                 new_centers[cluster_id] = members.mean(axis=0)
             else:
-                # Re-seed an empty cluster at the point farthest from its center.
-                farthest = distances.min(axis=1).argmax()
+                empty.append(cluster_id)
+        if empty:
+            # Re-seed each empty cluster at a *distinct* farthest point:
+            # the residual cost of a point already used as a reseed is
+            # zeroed out, so two clusters emptying in the same iteration
+            # can never land on the same point (duplicate centers).
+            point_costs = distances[np.arange(n), labels].copy()
+            for cluster_id in empty:
+                farthest = int(point_costs.argmax())
                 new_centers[cluster_id] = features[farthest]
+                point_costs[farthest] = -1.0
         centers = new_centers
-        if inertia - new_inertia < tolerance:
-            inertia = new_inertia
-            break
+        improvement = inertia - new_inertia
         inertia = new_inertia
+        # Converge only on a small *non-negative* improvement: an inertia
+        # increase (possible right after an empty-cluster reseed) means
+        # the reseeded centers still need iterations, not that we are done.
+        if 0.0 <= improvement < tolerance:
+            break
     return KMeansResult(
         labels=labels, centers=centers, inertia=inertia, iterations=iteration
+    )
+
+
+def assign_clusters(
+    features: np.ndarray, centers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-center assignment against a fixed codebook.
+
+    Returns ``(labels, costs)`` — for each row of ``features`` the index
+    of its closest row in ``centers`` and the squared Euclidean distance
+    to it.  This is the encode step of product quantization: the
+    codebook is trained once and millions of rows are assigned against
+    it without re-running Lloyd iterations.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or centers.shape[0] == 0:
+        raise ValueError("centers must be a non-empty (K, D) matrix")
+    if features.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    distances = _squared_distances(features, centers)
+    labels = distances.argmin(axis=1)
+    return labels, distances[np.arange(labels.shape[0]), labels]
+
+
+def minibatch_kmeans(
+    features: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    batch_size: int = 1024,
+    max_iterations: int = 60,
+    tolerance: float = 1e-4,
+) -> KMeansResult:
+    """Mini-batch k-means (Sculley 2010) for corpora too large for Lloyd.
+
+    Each iteration samples ``batch_size`` rows, assigns them to the
+    current centers, and moves each center toward its batch members with
+    a per-center learning rate ``1 / count`` — one pass touches
+    ``batch_size`` rows instead of all N, which is what makes coarse
+    quantizer training on million-row corpora affordable.  Converges
+    when the centers' total squared shift drops below ``tolerance``.
+    Falls back to exact :func:`kmeans` when the corpus already fits one
+    batch.  The returned labels/inertia come from one final full
+    assignment pass, so the result quacks exactly like :func:`kmeans`.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    n = features.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty feature matrix")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    num_clusters = min(num_clusters, n)
+    if n <= batch_size:
+        return kmeans(features, num_clusters, rng, max_iterations=max_iterations)
+    sample_size = min(n, max(batch_size, 4 * num_clusters))
+    sample = rng.choice(n, size=sample_size, replace=False)
+    centers = _kmeans_pp_init(features[sample], num_clusters, rng)
+    counts = np.zeros(num_clusters, dtype=np.float64)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        batch = features[rng.integers(n, size=batch_size)]
+        labels = _squared_distances(batch, centers).argmin(axis=1)
+        shift = 0.0
+        for cluster_id in np.unique(labels):
+            members = batch[labels == cluster_id]
+            counts[cluster_id] += members.shape[0]
+            step = (members.shape[0] / counts[cluster_id]) * (
+                members.mean(axis=0) - centers[cluster_id]
+            )
+            centers[cluster_id] += step
+            shift += float((step**2).sum())
+        if shift < tolerance:
+            break
+    labels, costs = assign_clusters(features, centers)
+    return KMeansResult(
+        labels=labels,
+        centers=centers,
+        inertia=float(costs.sum()),
+        iterations=iteration,
     )
 
 

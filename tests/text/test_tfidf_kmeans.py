@@ -1,5 +1,7 @@
 """Tests for TF-IDF, k-means, similarity measures, and the MLM warm start."""
 
+import importlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -10,11 +12,13 @@ from repro.text import (
     MLMConfig,
     TfidfVectorizer,
     Tokenizer,
+    assign_clusters,
     cosine,
     cosine_matrix,
     jaccard,
     kmeans,
     levenshtein,
+    minibatch_kmeans,
     mlm_warm_start,
     overlap_coefficient,
     top_k_cosine,
@@ -120,6 +124,100 @@ class TestKMeans:
         i2 = kmeans(features, 2, np.random.default_rng(3)).inertia
         i6 = kmeans(features, 6, np.random.default_rng(3)).inertia
         assert i6 <= i2
+
+    def test_multiple_empty_clusters_reseed_to_distinct_points(self, monkeypatch):
+        # Regression: force every init center onto the same point so two
+        # clusters go empty in the first iteration.  The reseed must give
+        # each empty cluster its *own* farthest point — the old code
+        # recomputed argmax from stale distances and parked every empty
+        # cluster on one duplicate center.
+        kmeans_module = importlib.import_module("repro.text.kmeans")
+
+        features = np.array(
+            [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0], [5.0, 20.0]]
+        )
+        monkeypatch.setattr(
+            kmeans_module,
+            "_kmeans_pp_init",
+            lambda feats, k, rng: np.vstack([feats[0]] * k),
+        )
+        result = kmeans_module.kmeans(
+            features, 3, np.random.default_rng(0), max_iterations=1
+        )
+        assert np.unique(result.centers, axis=0).shape[0] == 3
+
+    def test_inertia_increase_is_not_convergence(self, monkeypatch):
+        # Regression: script an inertia *increase* at iteration 2 (as a
+        # reseed can cause).  The old check treated any improvement
+        # < tolerance — including a negative one — as converged and
+        # stopped at iteration 2; the fix keeps iterating.
+        kmeans_module = importlib.import_module("repro.text.kmeans")
+
+        original = kmeans_module._squared_distances
+        calls = {"count": 0}
+
+        def scripted(features, centers):
+            calls["count"] += 1
+            factor = 10.0 if calls["count"] == 2 else 1.0
+            return original(features, centers) * factor
+
+        monkeypatch.setattr(kmeans_module, "_squared_distances", scripted)
+        result = kmeans_module.kmeans(
+            self.blobs(), 3, np.random.default_rng(1), max_iterations=10
+        )
+        assert result.iterations > 2
+
+
+class TestAssignClusters:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(50, 4))
+        centers = rng.normal(size=(6, 4))
+        labels, costs = assign_clusters(features, centers)
+        expected = ((features[:, None, :] - centers[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, expected.argmin(axis=1))
+        np.testing.assert_allclose(costs, expected.min(axis=1), atol=1e-9)
+
+    def test_empty_features(self):
+        labels, costs = assign_clusters(np.empty((0, 3)), np.eye(3))
+        assert labels.shape == (0,)
+        assert costs.shape == (0,)
+
+    def test_empty_centers_raises(self):
+        with pytest.raises(ValueError):
+            assign_clusters(np.eye(3), np.empty((0, 3)))
+
+
+class TestMinibatchKMeans:
+    def test_recovers_blobs_on_large_corpus(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+        features = np.vstack(
+            [rng.normal(loc=c, scale=0.1, size=(400, 2)) for c in centers]
+        )
+        result = minibatch_kmeans(
+            features, 3, np.random.default_rng(1), batch_size=128
+        )
+        for block in range(3):
+            labels = result.labels[block * 400 : (block + 1) * 400]
+            assert len(set(labels.tolist())) == 1
+
+    def test_deterministic_given_rng_seed(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(2000, 3))
+        r1 = minibatch_kmeans(features, 5, np.random.default_rng(7), batch_size=256)
+        r2 = minibatch_kmeans(features, 5, np.random.default_rng(7), batch_size=256)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+    def test_small_corpus_falls_back_to_exact(self):
+        features = np.random.default_rng(2).normal(size=(40, 2))
+        mb = minibatch_kmeans(features, 3, np.random.default_rng(5), batch_size=100)
+        exact = kmeans(features, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(mb.labels, exact.labels)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            minibatch_kmeans(np.empty((0, 2)), 2, np.random.default_rng(0))
 
 
 class TestSimilarity:
