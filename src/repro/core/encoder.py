@@ -50,6 +50,12 @@ class SudowoodoEncoder(Module):
         self.projector = Linear(
             config.dim, config.projector_dim, spawn_rng(config.seed, "projector")
         )
+        # Serving-side tokenize+pad cache (created lazily by
+        # :meth:`token_cache`): ``embed_items`` re-encodes a corpus after
+        # every reindex, and tokenization is the dominant Python-level
+        # cost — caching per-item encodings keyed by text fingerprint
+        # makes warm re-encodes skip it entirely.
+        self._token_cache = None
 
     # ------------------------------------------------------------------
     # Training-path encodes (gradients flow)
@@ -112,24 +118,93 @@ class SudowoodoEncoder(Module):
     # ------------------------------------------------------------------
     # Inference-path embeddings (no gradients, batched)
     # ------------------------------------------------------------------
+    def token_cache(self):
+        """The serving-side tokenize+pad cache (created on first use).
+
+        A :class:`~repro.train.data.TokenCache` keyed by the library-wide
+        :func:`~repro.utils.text_fingerprint` — the same scheme the
+        :class:`~repro.serve.store.EmbeddingStore` vector cache and the
+        training engine use, so one serialized record has a single stable
+        identity across every cache layer.
+        """
+        if self._token_cache is None:
+            from ..train.data import TokenCache  # deferred: avoids a cycle
+
+            self._token_cache = TokenCache(self.tokenizer)
+        return self._token_cache
+
+    def token_cache_stats(self) -> dict:
+        """Hit/miss/size counters of the serving token cache."""
+        cache = self._token_cache
+        if cache is None:
+            return {"hits": 0, "misses": 0, "size": 0}
+        return {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
+
+    def adopt_token_cache(self, other: "SudowoodoEncoder") -> bool:
+        """Take over ``other``'s token cache when the vocabularies match.
+
+        Token encodings depend only on the tokenizer, not on model
+        weights, so a fine-tuned clone (or a blue/green reindex shadow
+        encoder) can reuse the live encoder's warm cache and skip the
+        cold tokenize pass entirely.  Returns ``False`` (and leaves this
+        encoder untouched) when the vocabularies differ or ``other`` has
+        no cache yet.
+        """
+        cache = other._token_cache
+        if cache is None or other.tokenizer.vocab != self.tokenizer.vocab:
+            return False
+        self._token_cache = cache
+        return True
+
+    def encode_tokens_inference(self, encoding) -> np.ndarray:
+        """Pooled (B, dim) float64 embeddings for a pre-tokenized batch.
+
+        The inference twin of :meth:`encode_tokens_training`: dropout
+        off, no autograd graph, raw (un-normalized) pooled rows.  Callers
+        holding cached token encodings (the serving
+        :meth:`token_cache`, external feature pipelines) enter here and
+        skip tokenization altogether.
+        """
+        was_training = self.encoder.training
+        self.encoder.eval()
+        try:
+            with no_grad():
+                pooled = self.encoder.pooled(
+                    encoding.token_ids,
+                    attention_mask=encoding.attention_mask,
+                    pooling=self.config.pooling,
+                )
+        finally:
+            if was_training:
+                self.encoder.train()
+        return pooled.data.astype(np.float64)
+
     def embed_items(
-        self, texts: Sequence[str], batch_size: int = 64, normalize: bool = True
+        self,
+        texts: Sequence[str],
+        batch_size: int = 64,
+        normalize: bool = True,
+        use_token_cache: bool = True,
     ) -> np.ndarray:
         """Embed a corpus into a (N, dim) float matrix without gradients.
 
         Rows are L2-normalized by default (Definition 1 assumes unit-norm
-        outputs), so dot products are cosine similarities.
+        outputs), so dot products are cosine similarities.  Tokenization
+        goes through the fingerprint-keyed :meth:`token_cache` (pass
+        ``use_token_cache=False`` to force the cold path); warm rows are
+        byte-identical to cold ones — tokenization is deterministic and
+        padding fixed-length — just several times faster.
         """
-        was_training = self.encoder.training
-        self.encoder.eval()
+        cache = self.token_cache() if use_token_cache else None
+        max_len = self.config.max_seq_len
         chunks: List[np.ndarray] = []
-        with no_grad():
-            for start in range(0, len(texts), batch_size):
-                batch = list(texts[start : start + batch_size])
-                pooled = self.encode_training(batch)
-                chunks.append(pooled.data.astype(np.float64))
-        if was_training:
-            self.encoder.train()
+        for start in range(0, len(texts), batch_size):
+            batch = list(texts[start : start + batch_size])
+            if cache is not None:
+                encoding = cache.encode_batch(batch, max_len)
+            else:
+                encoding = self.tokenizer.encode_batch(batch, max_len=max_len)
+            chunks.append(self.encode_tokens_inference(encoding))
         if not chunks:
             return np.zeros((0, self.config.dim))
         matrix = np.vstack(chunks)
@@ -151,10 +226,18 @@ class SudowoodoEncoder(Module):
         built on it) pristine — the contract
         :class:`~repro.api.SudowoodoSession` relies on to serve several
         tasks from one pre-training run.
+
+        The serving token cache is deliberately *not* copied (the clone
+        starts cold); a clone that shares the same vocabulary can call
+        :meth:`adopt_token_cache` to warm-start from this encoder.
         """
         import copy
 
-        return copy.deepcopy(self)
+        cache, self._token_cache = self._token_cache, None
+        try:
+            return copy.deepcopy(self)
+        finally:
+            self._token_cache = cache
 
 
 def build_tokenizer(corpus: Sequence[str], config: SudowoodoConfig) -> Tokenizer:

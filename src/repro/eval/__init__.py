@@ -1,12 +1,18 @@
-"""Evaluation utilities: difficulty profiling and report formatting."""
+"""Evaluation utilities: difficulty profiling, op-level performance
+profiling, and report formatting."""
 
+from .perf import EncodeProfile, OpProfiler, OpStat, profile_encode
 from .profiling import DifficultyLevel, pair_jaccard, split_by_difficulty
 from .reporting import f1_row, format_table
 
 __all__ = [
     "DifficultyLevel",
+    "EncodeProfile",
+    "OpProfiler",
+    "OpStat",
     "f1_row",
     "format_table",
     "pair_jaccard",
+    "profile_encode",
     "split_by_difficulty",
 ]

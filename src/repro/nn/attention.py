@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import tensor as _tensor_ops
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -60,10 +61,11 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.key(x), batch, seq)
         v = self._split_heads(self.value(x), batch, seq)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, H, T, T)
-        if blocking_mask is not None:
-            scores = scores.masked_fill(blocking_mask, NEG_INF)
-        weights = scores.softmax(axis=-1)
+        # Fused scale + mask + softmax over q @ k^T: one graph node (and,
+        # under no_grad, one pooled scratch buffer) instead of four ops.
+        weights = _tensor_ops.attention_scores(
+            q, k, self.scale, blocking_mask, mask_value=NEG_INF
+        )  # (B, H, T, T)
         if self.attn_dropout is not None:
             weights = self.attn_dropout(weights)
 

@@ -7,12 +7,18 @@ from typing import Optional, Sequence
 import numpy as np
 
 from . import init
+from . import tensor as _tensor_ops
 from .module import Module, Parameter
 from .tensor import Tensor
 
 
 class Linear(Module):
-    """Affine transform ``y = x W + b`` over the last axis."""
+    """Affine transform ``y = x W + b`` over the last axis.
+
+    Runs through the fused :func:`repro.nn.tensor.linear` kernel (one
+    graph node instead of matmul + broadcast add) unless the fused
+    kernels are globally disabled.
+    """
 
     def __init__(
         self,
@@ -28,10 +34,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return _tensor_ops.linear(x, self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -54,7 +57,9 @@ class Embedding(Module):
         self.weight = Parameter(table)
 
     def forward(self, indices: np.ndarray) -> Tensor:
-        return self.weight.embedding(np.asarray(indices, dtype=np.int64))
+        return self.weight.embedding(
+            np.asarray(indices, dtype=np.int64), padding_idx=self.padding_idx
+        )
 
 
 class LayerNorm(Module):
@@ -117,15 +122,24 @@ class MLP(Module):
         self.drop = Dropout(dropout, rng) if dropout > 0 else None
 
     def forward(self, x: Tensor) -> Tensor:
-        hidden = self.fc1(x)
-        if self.activation == "gelu":
-            hidden = hidden.gelu()
-        elif self.activation == "relu":
-            hidden = hidden.relu()
-        elif self.activation == "tanh":
-            hidden = hidden.tanh()
+        if (
+            self.activation == "gelu"
+            and self.fc1.bias is not None
+            and _tensor_ops.fused_kernels_enabled()
+        ):
+            # Fused expansion: matmul then one bias+gelu node (the
+            # composition the op profiler shows dominating the FFN).
+            hidden = _tensor_ops.bias_gelu(x @ self.fc1.weight, self.fc1.bias)
         else:
-            raise ValueError(f"unknown activation: {self.activation}")
+            hidden = self.fc1(x)
+            if self.activation == "gelu":
+                hidden = hidden.gelu()
+            elif self.activation == "relu":
+                hidden = hidden.relu()
+            elif self.activation == "tanh":
+                hidden = hidden.tanh()
+            else:
+                raise ValueError(f"unknown activation: {self.activation}")
         if self.drop is not None:
             hidden = self.drop(hidden)
         return self.fc2(hidden)

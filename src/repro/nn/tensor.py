@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
@@ -60,22 +61,92 @@ def autograd_dtype(dtype) -> Iterator[None]:
         set_default_dtype(previous)
 
 
-# Global switch for graph construction.  Inside `no_grad()` no backward
+# Per-thread switch for graph construction.  Inside `no_grad()` no backward
 # closures are created, which makes pure inference (e.g. encoding a corpus
 # for blocking) allocation-free beyond the forward activations.
-_GRAD_ENABLED = True
+#
+# The switch is thread-local (torch semantics): serving threads encode
+# under `no_grad()` concurrently, and with one process-global flag two
+# nested save/restore pairs racing across threads can restore a stale
+# "previous" value and leave autograd off for the whole process.
+class _GradMode(threading.local):
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 @contextmanager
 def no_grad() -> Iterator[None]:
-    """Disable autograd graph construction within the block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Disable autograd graph construction (this thread) within the block."""
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
+
+
+# Global switch for the fused composite kernels (`linear`, `bias_gelu`,
+# `attention_scores`).  When off, the fused entry points fall back to the
+# unfused op compositions — the reference implementations the equivalence
+# tests (and the fused-vs-unfused benchmark) compare against.
+_FUSED_KERNELS = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the fused composite kernels are active."""
+    return _FUSED_KERNELS
+
+
+def set_fused_kernels(enabled: bool) -> None:
+    """Globally enable/disable the fused composite kernels."""
+    global _FUSED_KERNELS
+    _FUSED_KERNELS = bool(enabled)
+
+
+@contextmanager
+def fused_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily toggle the fused kernels (equivalence tests, benchmarks)."""
+    previous = _FUSED_KERNELS
+    set_fused_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_fused_kernels(previous)
+
+
+class _ScratchPool(threading.local):
+    """Per-thread reusable forward buffers for the ``no_grad`` encode path.
+
+    Fused kernels ask the pool for *internal* temporaries (attention score
+    matrices, layer-norm centering buffers) instead of allocating fresh
+    arrays on every call; because encode batches repeat the same shapes
+    layer after layer, each (shape, dtype) slot is allocated once and then
+    recycled for the rest of the process.  Buffers never escape the op
+    that borrowed them, and the pool is thread-local, so reuse is safe
+    even under concurrent serving traffic.
+    """
+
+    def __init__(self) -> None:
+        self.buffers: dict = {}
+
+    def take(self, shape: Tuple[int, ...], dtype, slot: int = 0) -> np.ndarray:
+        """Borrow the reusable buffer for ``(shape, dtype)``.
+
+        ``slot`` distinguishes buffers an op needs *simultaneously* at the
+        same shape/dtype (the pool hands back the same array per key).
+        """
+        key = (shape, np.dtype(dtype), slot)
+        buffer = self.buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self.buffers[key] = buffer
+        return buffer
+
+
+_SCRATCH = _ScratchPool()
 
 
 def _as_array(value: Arrayish, dtype=None) -> np.ndarray:
@@ -117,8 +188,12 @@ class Tensor:
         data: Arrayish,
         requires_grad: bool = False,
         _parents: Tuple["Tensor", ...] = (),
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        # ``dtype`` overrides the ambient default — the way to build a
+        # constant that matches an existing tensor's precision instead of
+        # whatever ``autograd_dtype`` context happens to be active.
+        self.data = _as_array(data, dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = requires_grad
         self._backward: Optional[Callable[[], None]] = None
@@ -156,8 +231,20 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        """Return a tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a tensor sharing data but cut off from the graph.
+
+        The result aliases this tensor's buffer and keeps its dtype even
+        when the current default dtype differs (constructing via
+        ``Tensor(self.data)`` would silently re-coerce — and therefore
+        copy — a float64 tensor under a float32 default).
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        return out
 
     # ------------------------------------------------------------------
     # Graph machinery
@@ -224,7 +311,7 @@ class Tensor:
 
     @staticmethod
     def _needs_grad(*tensors: "Tensor") -> bool:
-        return _GRAD_ENABLED and any(t.requires_grad or t._parents for t in tensors)
+        return _GRAD_MODE.enabled and any(t.requires_grad or t._parents for t in tensors)
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -410,9 +497,14 @@ class Tensor:
         return out
 
     def gelu(self) -> "Tensor":
-        """Gaussian error linear unit (tanh approximation, as in BERT)."""
+        """Gaussian error linear unit (tanh approximation, as in BERT).
+
+        The cube is computed as ``x * x * x``: ``np.power`` with an
+        integer exponent takes a libm path that is ~70x slower and
+        dominated the whole encode profile.
+        """
         x = self.data
-        inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+        inner = _SQRT_2_OVER_PI * (x + 0.044715 * (x * x * x))
         tanh_inner = np.tanh(inner)
         out = Tensor(
             0.5 * x * (1.0 + tanh_inner),
@@ -421,8 +513,8 @@ class Tensor:
         )
 
         def _backward() -> None:
-            sech2 = 1.0 - tanh_inner**2
-            d_inner = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x**2)
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * (x * x))
             grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
             self._accumulate(out.grad * grad)
 
@@ -618,6 +710,22 @@ class Tensor:
         self, weight: "Tensor", bias: "Tensor", eps: float = 1e-5
     ) -> "Tensor":
         """Layer normalization over the last axis with affine parameters."""
+        if not _GRAD_MODE.enabled and _FUSED_KERNELS:
+            # Inference fast path: centering/normalizing happens in one
+            # pooled scratch buffer and the affine transform lands in the
+            # output in place — same operations in the same order as the
+            # training path (bit-identical), minus four temporaries.
+            centered = _SCRATCH.take(self.shape, self.data.dtype)
+            mu = self.data.mean(axis=-1, keepdims=True)
+            np.subtract(self.data, mu, out=centered)
+            squared = _SCRATCH.take(self.shape, self.data.dtype, slot=1)
+            np.square(centered, out=squared)  # == centered**2 bit for bit
+            var = squared.mean(axis=-1, keepdims=True)
+            inv_std = 1.0 / np.sqrt(var + eps)
+            np.multiply(centered, inv_std, out=centered)
+            value = centered * weight.data
+            np.add(value, bias.data, out=value)
+            return Tensor(value)
         mu = self.data.mean(axis=-1, keepdims=True)
         centered = self.data - mu
         var = (centered**2).mean(axis=-1, keepdims=True)
@@ -647,8 +755,15 @@ class Tensor:
             out._backward = _backward
         return out
 
-    def embedding(self, indices: np.ndarray) -> "Tensor":
-        """Row lookup: ``self`` is a (V, D) table, ``indices`` int array."""
+    def embedding(
+        self, indices: np.ndarray, padding_idx: Optional[int] = None
+    ) -> "Tensor":
+        """Row lookup: ``self`` is a (V, D) table, ``indices`` int array.
+
+        With ``padding_idx`` the gradient to that row is zeroed (torch
+        parity): a pad embedding initialized to zero stays exactly zero
+        through training instead of drifting with every batch.
+        """
         idx = np.asarray(indices)
         out = Tensor(
             self.data[idx], requires_grad=self._needs_grad(self), _parents=(self,)
@@ -657,6 +772,8 @@ class Tensor:
         def _backward() -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, idx.reshape(-1), out.grad.reshape(-1, self.shape[-1]))
+            if padding_idx is not None:
+                full[padding_idx] = 0.0
             self._accumulate(full)
 
         if out.requires_grad:
@@ -692,6 +809,178 @@ class Tensor:
     def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
         norm = (self * self).sum(axis=axis, keepdims=True).sqrt() + eps
         return self / norm
+
+
+# ----------------------------------------------------------------------
+# Fused composite kernels
+# ----------------------------------------------------------------------
+# Each of these replaces a composition of 2-4 Tensor ops with ONE graph
+# node carrying a hand-derived backward pass.  The numpy operations run in
+# exactly the same order as the unfused composition, so forward values and
+# accumulated gradients are bit-identical — the invariant
+# tests/nn/test_fused_kernels.py pins and the byte-identity training
+# contracts in tests/train/ rely on.
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused affine transform ``x @ weight + bias`` as a single graph node.
+
+    The unfused composition builds two nodes (matmul, broadcast add) and
+    an intermediate activation; the fused kernel adds the bias in place on
+    the freshly allocated matmul output and routes all three gradients
+    from one closure.
+    """
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    if not _FUSED_KERNELS:
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        return out
+    value = np.matmul(x.data, weight.data)
+    if bias is not None:
+        np.add(value, bias.data, out=value)
+        parents: Tuple[Tensor, ...] = (x, weight, bias)
+    else:
+        parents = (x, weight)
+    out = Tensor(value, requires_grad=Tensor._needs_grad(*parents), _parents=parents)
+
+    def _backward() -> None:
+        g = out.grad
+        if x.requires_grad or x._parents:
+            grad_x = np.matmul(g, np.swapaxes(weight.data, -1, -2))
+            x._accumulate(_unbroadcast(grad_x, x.shape))
+        if weight.requires_grad or weight._parents:
+            if x.data.ndim == 1:
+                grad_w = np.multiply.outer(x.data, g)
+            else:
+                grad_w = np.matmul(np.swapaxes(x.data, -1, -2), g)
+            weight._accumulate(_unbroadcast(grad_w, weight.shape))
+        if bias is not None and (bias.requires_grad or bias._parents):
+            bias._accumulate(_unbroadcast(g, bias.shape))
+
+    if out.requires_grad:
+        out._backward = _backward
+    return out
+
+
+def bias_gelu(x: Tensor, bias: Tensor) -> Tensor:
+    """Fused ``gelu(x + bias)`` (the FFN expansion's activation) as one node.
+
+    Saves the broadcast-add node plus one full-width temporary per call;
+    the backward pass reuses the forward's pre-activation and tanh buffers
+    instead of recomputing them through two closures.
+    """
+    if not _FUSED_KERNELS:
+        return (x + bias).gelu()
+    if not _GRAD_MODE.enabled:
+        # Inference: run the whole activation through one pooled scratch
+        # buffer and finish in place on the pre-activation allocation.
+        # Every step mirrors the expression below operation for operation
+        # (scalar factors applied on the same side of each binary op is
+        # exact for IEEE multiplies/adds), so values stay bit-identical.
+        pre = x.data + bias.data
+        scratch = _SCRATCH.take(pre.shape, pre.dtype)
+        np.multiply(pre, pre, out=scratch)
+        np.multiply(scratch, pre, out=scratch)  # pre * pre * pre
+        scratch *= 0.044715
+        scratch += pre
+        scratch *= _SQRT_2_OVER_PI
+        np.tanh(scratch, out=scratch)
+        scratch += 1.0  # 1.0 + tanh_inner
+        pre *= 0.5
+        np.multiply(pre, scratch, out=pre)  # (0.5 * pre) * (1 + tanh)
+        return Tensor(pre)
+    pre = x.data + bias.data
+    inner = _SQRT_2_OVER_PI * (pre + 0.044715 * (pre * pre * pre))
+    tanh_inner = np.tanh(inner)
+    out = Tensor(
+        0.5 * pre * (1.0 + tanh_inner),
+        requires_grad=Tensor._needs_grad(x, bias),
+        _parents=(x, bias),
+    )
+
+    def _backward() -> None:
+        sech2 = 1.0 - tanh_inner * tanh_inner
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * (pre * pre))
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * pre * sech2 * d_inner
+        g = out.grad * local
+        if x.requires_grad or x._parents:
+            x._accumulate(_unbroadcast(g, x.shape))
+        if bias.requires_grad or bias._parents:
+            bias._accumulate(_unbroadcast(g, bias.shape))
+
+    if out.requires_grad:
+        out._backward = _backward
+    return out
+
+
+def attention_scores(
+    q: Tensor,
+    k: Tensor,
+    scale: float,
+    blocking_mask: Optional[np.ndarray] = None,
+    mask_value: float = -1e9,
+) -> Tensor:
+    """Fused ``softmax(mask(q @ k^T * scale))`` — the attention-score path.
+
+    Collapses the four-node composition (matmul, scalar mul, masked_fill,
+    softmax) that dominates the profiler's per-layer op counts into one
+    node.  Under ``no_grad`` the whole (B, H, T, T) score matrix lives in
+    a pooled scratch buffer: scaling, masking, the max-shift, and the
+    exponential all happen in place, so inference allocates only the
+    final weight matrix.
+    """
+    if not _FUSED_KERNELS:
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if blocking_mask is not None:
+            scores = scores.masked_fill(blocking_mask, mask_value)
+        return scores.softmax(axis=-1)
+    k_t = np.swapaxes(k.data, -1, -2)
+    if _GRAD_MODE.enabled:
+        scores = np.matmul(q.data, k_t)
+    else:
+        shape = np.broadcast_shapes(q.shape[:-2], k.shape[:-2]) + (
+            q.shape[-2],
+            k.shape[-2],
+        )
+        scores = np.matmul(q.data, k_t, out=_SCRATCH.take(shape, q.data.dtype))
+    scores *= scale
+    if blocking_mask is not None:
+        mask_arr = np.asarray(blocking_mask, dtype=bool)
+        np.copyto(scores, mask_value, where=mask_arr)
+    if _GRAD_MODE.enabled:
+        scores -= scores.max(axis=-1, keepdims=True)
+    else:
+        # Row-max via one vectorized np.maximum per key column: exactly
+        # the same result (max is associative and commutative), ~3x
+        # faster than numpy's small-row axis reduction on this shape.
+        flat = scores.reshape(-1, scores.shape[-1])
+        row_max = _SCRATCH.take((flat.shape[0],), scores.dtype)
+        np.copyto(row_max, flat[:, 0])
+        for column in range(1, flat.shape[1]):
+            np.maximum(row_max, flat[:, column], out=row_max)
+        scores -= row_max.reshape(scores.shape[:-1] + (1,))
+    np.exp(scores, out=scores)
+    value = scores / scores.sum(axis=-1, keepdims=True)
+    out = Tensor(value, requires_grad=Tensor._needs_grad(q, k), _parents=(q, k))
+
+    def _backward() -> None:
+        g = out.grad
+        dot = (g * value).sum(axis=-1, keepdims=True)
+        d_scores = value * (g - dot)
+        if blocking_mask is not None:
+            d_scores = np.where(mask_arr, 0.0, d_scores)
+        d_scores *= scale
+        if q.requires_grad or q._parents:
+            q._accumulate(_unbroadcast(np.matmul(d_scores, k.data), q.shape))
+        if k.requires_grad or k._parents:
+            grad_k_t = np.matmul(np.swapaxes(q.data, -1, -2), d_scores)
+            k._accumulate(_unbroadcast(np.swapaxes(grad_k_t, -1, -2), k.shape))
+
+    if out.requires_grad:
+        out._backward = _backward
+    return out
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

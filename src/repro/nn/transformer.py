@@ -165,12 +165,19 @@ class TransformerEncoder(Module):
         if pooling == "cls":
             return hidden[:, 0, :]
         if pooling == "mean":
-            mask = Tensor(attention_mask[:, :, np.newaxis].astype(np.float64))
+            # Build the mask and counts in the hidden dtype: a float64
+            # mask would silently upcast the whole pooled output even
+            # when the model runs float32 end to end.
+            dtype = hidden.data.dtype
+            mask = Tensor(
+                attention_mask[:, :, np.newaxis].astype(dtype), dtype=dtype
+            )
             summed = (hidden * mask).sum(axis=1)
             counts = Tensor(
                 np.maximum(attention_mask.sum(axis=1, keepdims=True), 1).astype(
-                    np.float64
-                )
+                    dtype
+                ),
+                dtype=dtype,
             )
             return summed / counts
         raise ValueError(f"unknown pooling: {pooling}")

@@ -553,6 +553,11 @@ class ServiceFrontend:
             old = self._service
             if corpus is None:
                 corpus = old.live_texts()
+            # Token encodings are weight-independent: when the vocabulary
+            # is unchanged (the common fine-tune-then-reindex flow) the
+            # shadow encoder reuses the live encoder's warm tokenize+pad
+            # cache, so the rebuild pays only the forward passes.
+            new_encoder.adopt_token_cache(old.store.encoder)
             try:
                 if store is None:
                     store = EmbeddingStore(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -319,11 +320,21 @@ class EmbeddingStore:
             else:
                 self.hits += 1
         if missing:
+            encode_start = time.perf_counter()
             encoded = self.encoder.embed_items(
                 list(missing.values()),
                 batch_size=chunk_size or self.batch_size,
                 normalize=False,
             )
+            if self._metrics is not None:
+                # Encode-stage observability: how long cache misses spend
+                # in tokenize+forward, and how many texts paid it.  The
+                # frontend's metrics_snapshot() surfaces the histogram as
+                # store.encode_seconds (p50/p99 over encode batches).
+                self._metrics.histogram("store.encode_seconds").record(
+                    time.perf_counter() - encode_start
+                )
+                self._metrics.counter("store.encode_texts").increment(len(missing))
             for row, key in enumerate(missing):
                 vector = np.asarray(encoded[row], dtype=self.dtype)
                 resolved[key] = vector

@@ -34,9 +34,15 @@ def word_tokenize(text: str) -> List[str]:
     """Lowercase word tokenization that keeps special tokens intact.
 
     Numbers with decimal points stay single tokens ("36.11"), punctuation
-    becomes its own token, and ``[COL]``-style markers are preserved.
+    becomes its own token, and ``[COL]``-style markers are preserved —
+    including markers *not* surrounded by whitespace: each one is
+    space-padded before splitting, so ``"[COL]name[VAL]3"`` yields
+    ``["[COL]", "name", "[VAL]", "3"]`` instead of shredding the marker
+    into ``[``, ``col``, ``]`` garbage tokens.
     """
-    normalized = re.sub(r"\[(PAD|UNK|CLS|SEP|COL|VAL|MASK)\]", lambda m: m.group(0), text)
+    normalized = re.sub(
+        r"\[(?:PAD|UNK|CLS|SEP|COL|VAL|MASK)\]", lambda m: f" {m.group(0)} ", text
+    )
     pieces: List[str] = []
     for raw in normalized.split():
         if raw in SPECIAL_TOKENS:

@@ -38,6 +38,13 @@ class TokenCache:
 
     ``capacity`` bounds the cache LRU-style (``None`` keeps everything —
     the right default when the corpus is fixed, as in pre-training).
+
+    Lookups are thread-safe (one short-held mutex per cache): besides the
+    serial training loop, the cache also backs
+    :meth:`repro.core.encoder.SudowoodoEncoder.embed_items` on the
+    serving side, where it can be shared across encoders (blue/green
+    reindex adopts the live encoder's warm cache) and hit from several
+    service threads at once.
     """
 
     def __init__(self, tokenizer: Any, capacity: Optional[int] = None) -> None:
@@ -46,27 +53,42 @@ class TokenCache:
         self.tokenizer = tokenizer
         self.capacity = capacity
         self._cache: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._cache)
 
+    def __getstate__(self) -> dict:
+        # Locks neither copy nor pickle; a (deep)copied cache gets its own.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # ------------------------------------------------------------------
     def encode(self, text: str, max_len: int) -> Any:
         """The cached per-item ``Encoding`` for ``text`` at ``max_len``."""
         key = (text_fingerprint(text), max_len)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.hits += 1
-            if self.capacity is not None:
-                self._cache.move_to_end(key)
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                if self.capacity is not None:
+                    self._cache.move_to_end(key)
+                return cached
+            self.misses += 1
+        # Tokenize outside the lock: encodings are deterministic, so two
+        # threads racing on the same key insert identical rows.
         encoding = self.tokenizer.encode(text, max_len=max_len)
-        self._cache[key] = encoding
-        if self.capacity is not None and len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = encoding
+            if self.capacity is not None and len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
         return encoding
 
     def encode_batch(self, texts: Sequence[str], max_len: int) -> Any:
@@ -92,7 +114,8 @@ class TokenCache:
 
     def clear(self) -> None:
         """Drop every cached encoding (e.g. after swapping tokenizers)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
 
 def permutation_batches(

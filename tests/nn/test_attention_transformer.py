@@ -105,6 +105,34 @@ class TestAttentionShapes:
             assert enc.pooled(ids, pooling="cls").shape == (2, 8)
             assert enc.pooled(ids, pooling="mean").shape == (2, 8)
 
+    def test_mean_pooling_keeps_hidden_dtype(self, monkeypatch):
+        # Regression: the pooling mask/counts were built as float64
+        # constants.  The Tensor constructor's coercion to the default
+        # dtype happened to wash that out in the output, but a float32
+        # forward pass was still allocating float64 temporaries for every
+        # mean-pooled batch.  Pin that `pooled` never *constructs* a
+        # float64 tensor for a float32 model.
+        from repro.nn import transformer as transformer_module
+
+        constructed_dtypes = []
+
+        class SpyTensor(Tensor):
+            def __init__(self, data, *args, **kwargs):
+                constructed_dtypes.append(np.asarray(data).dtype)
+                super().__init__(data, *args, **kwargs)
+
+        monkeypatch.setattr(transformer_module, "Tensor", SpyTensor)
+        enc = tiny_encoder()
+        ids = np.array([[2, 5, 6, 0], [2, 7, 0, 0]])
+        mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]])
+        with no_grad():
+            hidden = enc(ids, attention_mask=mask)
+            pooled = enc.pooled(ids, attention_mask=mask, pooling="mean")
+        assert hidden.data.dtype == np.float32
+        assert pooled.data.dtype == np.float32
+        assert constructed_dtypes, "pooled() no longer builds mask tensors?"
+        assert np.dtype(np.float64) not in constructed_dtypes
+
 
 # ----------------------------------------------------------------------
 class TestGradientChecks:

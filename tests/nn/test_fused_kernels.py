@@ -1,0 +1,295 @@
+"""Fused kernels vs. their reference compositions: bit-identical, both
+directions, grad and no-grad.
+
+The fused ``linear`` / ``bias_gelu`` / ``attention_scores`` kernels (and
+the ``no_grad`` scratch-buffer fast paths behind the same switch) promise
+*exactly* the values of the unfused op composition — same numpy
+operations in the same order.  These tests pin that invariant with
+byte-level comparisons; the training byte-identity contracts in
+tests/train/ depend on it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LayerNorm,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    attention_scores,
+    bias_gelu,
+    fused_kernels,
+    fused_kernels_enabled,
+    linear,
+    no_grad,
+    set_fused_kernels,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_fused_switch():
+    yield
+    set_fused_kernels(True)
+
+
+def gen(seed=0):
+    return np.random.default_rng(seed)
+
+
+def run_both(build_loss, params_fn):
+    """Forward + backward under each kernel mode; return (values, grads)."""
+    results = []
+    for enabled in (True, False):
+        with fused_kernels(enabled):
+            loss, out, params = build_loss()
+            loss.backward()
+        results.append(
+            (out.data.copy(), [p.grad.copy() for p in params_fn(params)])
+        )
+    return results
+
+
+class TestSwitch:
+    def test_default_enabled(self):
+        assert fused_kernels_enabled()
+
+    def test_context_manager_restores(self):
+        with fused_kernels(False):
+            assert not fused_kernels_enabled()
+            with fused_kernels(True):
+                assert fused_kernels_enabled()
+            assert not fused_kernels_enabled()
+        assert fused_kernels_enabled()
+
+
+class TestLinear:
+    def test_forward_backward_identical(self):
+        x0 = gen(1).normal(size=(4, 6, 8)).astype(np.float32)
+        w0 = gen(2).normal(size=(8, 5)).astype(np.float32)
+        b0 = gen(3).normal(size=(5,)).astype(np.float32)
+
+        def build():
+            x = Tensor(x0.copy(), requires_grad=True)
+            w = Tensor(w0.copy(), requires_grad=True)
+            b = Tensor(b0.copy(), requires_grad=True)
+            out = linear(x, w, b)
+            return (out * out).sum(), out, (x, w, b)
+
+        (fused_out, fused_grads), (ref_out, ref_grads) = run_both(
+            build, lambda params: params
+        )
+        np.testing.assert_array_equal(fused_out, ref_out)
+        for fused_grad, ref_grad in zip(fused_grads, ref_grads):
+            np.testing.assert_array_equal(fused_grad, ref_grad)
+
+    def test_no_bias(self):
+        x0 = gen(4).normal(size=(3, 8)).astype(np.float32)
+        w0 = gen(5).normal(size=(8, 5)).astype(np.float32)
+        with fused_kernels(True):
+            fused = linear(Tensor(x0), Tensor(w0)).data
+        with fused_kernels(False):
+            ref = linear(Tensor(x0), Tensor(w0)).data
+        np.testing.assert_array_equal(fused, ref)
+
+    def test_vector_input_weight_grad(self):
+        x0 = gen(6).normal(size=(8,)).astype(np.float32)
+        w0 = gen(7).normal(size=(8, 5)).astype(np.float32)
+
+        def build():
+            x = Tensor(x0.copy(), requires_grad=True)
+            w = Tensor(w0.copy(), requires_grad=True)
+            out = linear(x, w)
+            return (out * out).sum(), out, (x, w)
+
+        (fused_out, fused_grads), (ref_out, ref_grads) = run_both(
+            build, lambda params: params
+        )
+        np.testing.assert_array_equal(fused_out, ref_out)
+        for fused_grad, ref_grad in zip(fused_grads, ref_grads):
+            np.testing.assert_array_equal(fused_grad, ref_grad)
+
+    def test_accepts_raw_ndarray(self):
+        x0 = gen(8).normal(size=(3, 8)).astype(np.float32)
+        w = Tensor(gen(9).normal(size=(8, 5)).astype(np.float32))
+        out = linear(x0, w)
+        np.testing.assert_array_equal(out.data, linear(Tensor(x0), w).data)
+
+
+class TestBiasGelu:
+    def test_forward_backward_identical(self):
+        x0 = gen(10).normal(size=(4, 6, 16)).astype(np.float32)
+        b0 = gen(11).normal(size=(16,)).astype(np.float32)
+
+        def build():
+            x = Tensor(x0.copy(), requires_grad=True)
+            b = Tensor(b0.copy(), requires_grad=True)
+            out = bias_gelu(x, b)
+            return (out * out).sum(), out, (x, b)
+
+        (fused_out, fused_grads), (ref_out, ref_grads) = run_both(
+            build, lambda params: params
+        )
+        np.testing.assert_array_equal(fused_out, ref_out)
+        for fused_grad, ref_grad in zip(fused_grads, ref_grads):
+            np.testing.assert_array_equal(fused_grad, ref_grad)
+
+    def test_no_grad_scratch_path_identical(self):
+        x = Tensor(gen(12).normal(size=(4, 6, 16)).astype(np.float32))
+        b = Tensor(gen(13).normal(size=(16,)).astype(np.float32))
+        with fused_kernels(True):
+            grad_mode = bias_gelu(x, b).data.copy()
+            with no_grad():
+                first = bias_gelu(x, b).data.copy()
+                second = bias_gelu(x, b).data.copy()  # scratch reuse
+            with no_grad(), fused_kernels(False):
+                ref = bias_gelu(x, b).data.copy()
+        np.testing.assert_array_equal(first, grad_mode)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, ref)
+
+    def test_no_grad_output_not_clobbered_by_next_call(self):
+        # Outputs must own their buffers: a second call through the same
+        # scratch pool cannot mutate an earlier result.
+        x = Tensor(gen(14).normal(size=(4, 16)).astype(np.float32))
+        y = Tensor(gen(15).normal(size=(4, 16)).astype(np.float32))
+        b = Tensor(np.zeros(16, dtype=np.float32))
+        with no_grad():
+            first = bias_gelu(x, b)
+            snapshot = first.data.copy()
+            bias_gelu(y, b)
+        np.testing.assert_array_equal(first.data, snapshot)
+
+
+class TestAttentionScores:
+    SHAPE = (2, 2, 5, 4)  # (batch, heads, seq, head_dim)
+
+    def _mask(self):
+        mask = np.zeros((2, 1, 1, 5), dtype=bool)
+        mask[:, :, :, 3:] = True
+        return mask
+
+    @pytest.mark.parametrize("with_mask", [True, False])
+    def test_forward_backward_identical(self, with_mask):
+        q0 = gen(16).normal(size=self.SHAPE).astype(np.float32)
+        k0 = gen(17).normal(size=self.SHAPE).astype(np.float32)
+        scale = 1.0 / math.sqrt(self.SHAPE[-1])
+        mask = self._mask() if with_mask else None
+
+        def build():
+            q = Tensor(q0.copy(), requires_grad=True)
+            k = Tensor(k0.copy(), requires_grad=True)
+            out = attention_scores(q, k, scale, mask)
+            return (out * out).sum(), out, (q, k)
+
+        (fused_out, fused_grads), (ref_out, ref_grads) = run_both(
+            build, lambda params: params
+        )
+        np.testing.assert_array_equal(fused_out, ref_out)
+        for fused_grad, ref_grad in zip(fused_grads, ref_grads):
+            np.testing.assert_array_equal(fused_grad, ref_grad)
+
+    def test_rows_sum_to_one_and_mask_zeroed(self):
+        q = Tensor(gen(18).normal(size=self.SHAPE).astype(np.float32))
+        k = Tensor(gen(19).normal(size=self.SHAPE).astype(np.float32))
+        mask = self._mask()
+        weights = attention_scores(q, k, 0.5, mask).data
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-6)
+        assert weights[:, :, :, 3:].max() < 1e-6
+
+    def test_no_grad_scratch_path_identical(self):
+        q = Tensor(gen(20).normal(size=self.SHAPE).astype(np.float32))
+        k = Tensor(gen(21).normal(size=self.SHAPE).astype(np.float32))
+        scale = 1.0 / math.sqrt(self.SHAPE[-1])
+        mask = self._mask()
+        with fused_kernels(True):
+            grad_mode = attention_scores(q, k, scale, mask).data.copy()
+            with no_grad():
+                first = attention_scores(q, k, scale, mask)
+                snapshot = first.data.copy()
+                second = attention_scores(q, k, scale, mask).data.copy()
+            with no_grad(), fused_kernels(False):
+                ref = attention_scores(q, k, scale, mask).data.copy()
+        np.testing.assert_array_equal(snapshot, grad_mode)
+        np.testing.assert_array_equal(snapshot, second)
+        np.testing.assert_array_equal(snapshot, ref)
+        # The first output survived the second call's scratch reuse.
+        np.testing.assert_array_equal(first.data, snapshot)
+
+
+class TestLayerNormFastPath:
+    def test_no_grad_fast_path_identical(self):
+        norm = LayerNorm(16)
+        norm.weight.data[:] = gen(22).normal(size=16).astype(np.float32)
+        norm.bias.data[:] = gen(23).normal(size=16).astype(np.float32)
+        x = Tensor(gen(24).normal(size=(4, 6, 16)).astype(np.float32))
+        train_mode = norm(x).data.copy()
+        with no_grad():
+            with fused_kernels(True):
+                fast = norm(x).data.copy()
+            with fused_kernels(False):
+                slow = norm(x).data.copy()
+        np.testing.assert_array_equal(fast, train_mode)
+        np.testing.assert_array_equal(fast, slow)
+
+
+class TestFullEncoder:
+    """End-to-end: a 2-layer encoder forward + backward, fused vs unfused."""
+
+    def _inputs(self):
+        generator = gen(25)
+        ids = generator.integers(1, 50, size=(4, 12))
+        mask = np.ones((4, 12), dtype=np.int64)
+        mask[:, 9:] = 0
+        segments = np.zeros((4, 12), dtype=np.int64)
+        return ids, mask, segments
+
+    def _config(self):
+        return TransformerConfig(
+            vocab_size=50,
+            dim=16,
+            num_layers=2,
+            num_heads=4,
+            ffn_dim=32,
+            max_seq_len=12,
+            dropout=0.0,
+            seed=11,
+        )
+
+    def test_inference_forward_identical(self):
+        ids, mask, segments = self._inputs()
+        outs = []
+        for enabled in (True, False):
+            with fused_kernels(enabled):
+                model = TransformerEncoder(self._config())
+                model.eval()
+                with no_grad():
+                    pooled = model.pooled(
+                        ids,
+                        attention_mask=mask,
+                        segment_ids=segments,
+                        pooling="mean",
+                    )
+                outs.append(pooled.data.copy())
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_training_gradients_identical(self):
+        ids, mask, segments = self._inputs()
+        grads = []
+        for enabled in (True, False):
+            with fused_kernels(enabled):
+                model = TransformerEncoder(self._config())
+                model.train()
+                pooled = model.pooled(
+                    ids,
+                    attention_mask=mask,
+                    segment_ids=segments,
+                    pooling="mean",
+                )
+                (pooled * pooled).sum().backward()
+                grads.append([p.grad.copy() for p in model.parameters()])
+        assert len(grads[0]) == len(grads[1]) > 0
+        for fused_grad, ref_grad in zip(grads[0], grads[1]):
+            np.testing.assert_array_equal(fused_grad, ref_grad)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.nn import (
     MLP,
+    SGD,
     AdamW,
     Dropout,
     Embedding,
@@ -62,6 +63,34 @@ class TestEmbedding:
     def test_padding_idx_zero_initialized(self):
         emb = Embedding(10, 4, rng(), padding_idx=0)
         np.testing.assert_allclose(emb.weight.data[0], 0.0)
+
+    def test_padding_idx_gets_no_gradient(self):
+        # Regression: pad lookups used to accumulate gradient into the pad
+        # row, so the "always zero" embedding drifted with every batch.
+        emb = Embedding(10, 4, rng(), padding_idx=0)
+        out = emb(np.array([[0, 1, 2], [0, 0, 3]]))
+        out.sum().backward()
+        np.testing.assert_array_equal(emb.weight.grad[0], 0.0)
+        assert np.any(emb.weight.grad[1] != 0.0)
+
+    def test_padding_row_stays_zero_after_optimizer_step(self):
+        emb = Embedding(10, 4, rng(), padding_idx=0)
+        optimizer = SGD(emb.parameters(), lr=0.5)
+        for _ in range(3):
+            optimizer.zero_grad()
+            out = emb(np.array([[0, 1, 2, 0]]))
+            # A value-independent loss: every looked-up row (including the
+            # zero-initialized pad row) gets a nonzero gradient, so this
+            # fails if the pad row is allowed to drift.
+            out.sum().backward()
+            optimizer.step()
+        np.testing.assert_array_equal(emb.weight.data[0], 0.0)
+
+    def test_no_padding_idx_pad_row_trains(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([[0, 1]]))
+        out.sum().backward()
+        assert np.any(emb.weight.grad[0] != 0.0)
 
 
 class TestModuleProtocol:

@@ -1,5 +1,7 @@
 """Gradient-check and semantics tests for the autograd engine."""
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -280,12 +282,58 @@ class TestGraphSemantics:
         y.backward()
         np.testing.assert_allclose(x.grad, [3.0])
 
+    def test_detach_shares_data_buffer(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        d = x.detach()
+        assert d.data is x.data
+        assert not d.requires_grad
+        assert d._parents == ()
+        assert d.grad is None
+
+    def test_detach_keeps_dtype_across_autograd_dtype(self):
+        # Regression: detach() used to rebuild the array at the *current*
+        # default dtype, silently copying (and upcasting) float32 buffers
+        # whenever a different-precision context was active.  (This file's
+        # autouse fixture pins the default to float64, so the float32
+        # tensor below disagrees with the ambient default.)
+        with autograd_dtype(np.float32):
+            x = Tensor(np.ones(4, dtype=np.float32))
+        d = x.detach()
+        assert d.data.dtype == np.float32
+        assert d.data is x.data
+
     def test_no_grad_builds_no_graph(self):
         x = Tensor(np.ones(3), requires_grad=True)
         with no_grad():
             y = (x * 2.0).sum()
         assert not y.requires_grad
         assert y._parents == ()
+
+    def test_no_grad_is_thread_local(self):
+        # Regression: grad mode was one process-global flag, so a serving
+        # thread sitting inside no_grad() switched autograd off for every
+        # other thread — and overlapping save/restore pairs across threads
+        # could leave it off permanently.
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert entered.wait(5.0)
+            # While the worker holds no_grad, this thread still builds
+            # graphs and backpropagates.
+            x = Tensor(np.ones(3), requires_grad=True)
+            (x * x).sum().backward()
+            np.testing.assert_allclose(x.grad, 2.0 * np.ones(3))
+        finally:
+            release.set()
+            thread.join()
 
     def test_graph_released_after_backward(self):
         x = Tensor(np.ones(3), requires_grad=True)

@@ -626,6 +626,24 @@ class TestReindex:
         assert snapshot["gauges"]["frontend.index_generation"] == 1.0
         assert snapshot["service"]["generation"] == 1
 
+    def test_reindex_adopts_warm_token_cache(self, encoder, encoder_b):
+        # Clones start with cold caches, so this test cannot perturb (or
+        # be perturbed by) the module-scoped fixtures' cache state.
+        live = encoder.clone()
+        shadow = encoder_b.clone()
+        frontend = make_frontend(live)  # index_records warms live's cache
+        live_stats = live.token_cache_stats()
+        assert live_stats["size"] == len(CORPUS)
+
+        frontend.reindex(shadow)
+        # Same vocabulary: the shadow encoder reused the live cache, so
+        # the rebuild tokenized nothing from scratch.
+        assert shadow.token_cache() is live.token_cache()
+        stats = shadow.token_cache_stats()
+        assert stats["size"] == len(CORPUS)
+        assert stats["hits"] >= live_stats["hits"] + len(CORPUS)
+        assert stats["misses"] == live_stats["misses"]
+
     def test_reindex_failure_mid_build_keeps_old_index(self, encoder, encoder_b):
         frontend = make_frontend(encoder)
         queries = CORPUS[:6]

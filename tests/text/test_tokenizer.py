@@ -34,6 +34,27 @@ class TestWordTokenize:
     def test_empty(self):
         assert word_tokenize("") == []
 
+    def test_markers_without_surrounding_whitespace_stay_whole(self):
+        # Regression: markers glued to their neighbours used to shred into
+        # "[", "col", "]" garbage tokens.
+        assert word_tokenize("[COL]name[VAL]3") == ["[COL]", "name", "[VAL]", "3"]
+
+    def test_adjacent_markers(self):
+        assert word_tokenize("[COL][VAL]x") == ["[COL]", "[VAL]", "x"]
+
+    def test_marker_mid_word(self):
+        assert word_tokenize("foo[SEP]bar") == ["foo", "[SEP]", "bar"]
+
+    def test_marker_case_sensitive(self):
+        # Only the canonical uppercase spelling is a special token; a
+        # lowercase look-alike tokenizes as ordinary text.
+        assert word_tokenize("[col] x") == ["[", "col", "]", "x"]
+
+    def test_glued_markers_match_spaced_serialization(self):
+        spaced = word_tokenize("[COL] name [VAL] 3 [COL] price [VAL] 4.5")
+        glued = word_tokenize("[COL]name[VAL]3 [COL]price[VAL]4.5")
+        assert glued == spaced
+
 
 def make_tokenizer():
     corpus = [
