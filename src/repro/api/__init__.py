@@ -4,10 +4,11 @@
 One :class:`SudowoodoSession` owns one contrastively pre-trained encoder
 and its embedding store; any number of registered tasks — entity
 ``match``-ing, ``block``-ing, error ``clean``-ing, ``column_match`` and
-``column_cluster`` discovery — attach to it, share those
-representations, and follow one ``fit`` / ``predict`` / ``evaluate`` /
-``report`` lifecycle.  ``session.serve()`` exports any fitted task as a
-thread-safe, shardable streaming service.
+``column_cluster`` discovery, plus the integration-pipeline tier of
+``join_discovery``, ``dedupe``, and ``streaming_er`` — attach to it,
+share those representations, and follow one ``fit`` / ``predict`` /
+``evaluate`` / ``report`` lifecycle.  ``session.serve()`` exports any
+fitted task as a thread-safe, shardable streaming service.
 
 >>> from repro.api import SudowoodoSession
 >>> session = SudowoodoSession(config)
@@ -30,13 +31,23 @@ from ..core.config import (
     ServeConfig,
     SudowoodoConfig,
 )
-from .registry import Task, available_tasks, create_task, register_task
+from .registry import (
+    Task,
+    TaskNotFittedError,
+    available_tasks,
+    create_task,
+    register_task,
+)
 from .results import (
     BlockResult,
     CleanResult,
     ColumnClusterResult,
     ColumnMatchResult,
+    DedupeResult,
+    JoinCandidate,
+    JoinDiscoveryResult,
     MatchResult,
+    StreamingERResult,
     TaskReport,
 )
 from .session import SudowoodoSession
@@ -49,6 +60,11 @@ from .tasks import (
     SessionTask,
 )
 
+# Importing the discovery package registers the join_discovery / dedupe /
+# streaming_er tasks.  It lives at the end of the module because the
+# discovery tasks import SessionTask and the result types defined above.
+from .. import discovery as _discovery  # noqa: E402,F401  (registration)
+
 __all__ = [
     "BlockResult",
     "BlockTask",
@@ -58,7 +74,10 @@ __all__ = [
     "ColumnClusterTask",
     "ColumnMatchResult",
     "ColumnMatchTask",
+    "DedupeResult",
     "FinetuneConfig",
+    "JoinCandidate",
+    "JoinDiscoveryResult",
     "MatchResult",
     "MatchTask",
     "ModelConfig",
@@ -67,9 +86,11 @@ __all__ = [
     "RunConfig",
     "ServeConfig",
     "SessionTask",
+    "StreamingERResult",
     "SudowoodoConfig",
     "SudowoodoSession",
     "Task",
+    "TaskNotFittedError",
     "TaskReport",
     "available_tasks",
     "create_task",

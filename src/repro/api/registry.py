@@ -53,6 +53,23 @@ class Task(Protocol):
         ...
 
 
+class TaskNotFittedError(RuntimeError):
+    """A fitted-only operation (``predict`` / ``evaluate`` / ``report`` /
+    ``serve``) was requested from a task that has not been ``fit``.
+
+    Typed (rather than a bare ``RuntimeError`` or an ``AttributeError``
+    from a ``None`` internal) so callers holding many tasks can catch the
+    lifecycle error specifically; ``task`` names the offender.
+    """
+
+    def __init__(self, task: str, operation: str = "this operation") -> None:
+        super().__init__(
+            f"task {task!r} is not fitted; call fit() before {operation}"
+        )
+        self.task = task
+        self.operation = operation
+
+
 _REGISTRY: Dict[str, Type] = {}
 
 

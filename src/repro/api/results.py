@@ -11,7 +11,10 @@ clusters, candidate counts) live on the subclass fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.records import Record
 
 
 @dataclass
@@ -63,6 +66,69 @@ class ColumnMatchResult(TaskReport):
     num_candidates: int = 0
     positive_rate: float = 0.0
     valid_metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """One ranked joinable column pair from ``join_discovery``.
+
+    ``score`` blends a containment-sketch overlap estimate with the
+    embedding cosine (``alpha * containment + (1 - alpha) * cosine``);
+    the two ingredients are carried separately so callers can re-rank.
+    """
+
+    table_a: str
+    column_a: str
+    table_b: str
+    column_b: str
+    score: float
+    containment: float
+    cosine: float
+
+    @property
+    def pair(self) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+        """The sorted ((table, column), (table, column)) key."""
+        a = (self.table_a, self.column_a)
+        b = (self.table_b, self.column_b)
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class JoinDiscoveryResult(TaskReport):
+    """Join discovery: ranked joinable column pairs, grouped per table."""
+
+    num_tables: int = 0
+    num_columns: int = 0
+    candidates: List[JoinCandidate] = field(default_factory=list)
+    by_table: Dict[str, List[JoinCandidate]] = field(default_factory=dict)
+
+
+@dataclass
+class DedupeResult(TaskReport):
+    """Dedupe-and-merge: duplicate clusters, canonical records, reduction."""
+
+    dataset: str = ""
+    policy: str = ""
+    num_records: int = 0
+    clusters: List[List[int]] = field(default_factory=list)
+    canonical_records: List["Record"] = field(default_factory=list)
+    reduction_ratio: float = 0.0
+
+
+@dataclass
+class StreamingERResult(TaskReport):
+    """Streaming ER: feed accounting plus freshness / throughput metrics.
+
+    ``metrics`` carries the headline numbers (sustained QPS, staleness
+    p50/p99, shed and deadline counts); the fields below record how the
+    feed was consumed.
+    """
+
+    num_events: int = 0
+    upserts: int = 0
+    deletes: int = 0
+    searches: int = 0
+    final_index_size: int = 0
 
 
 @dataclass

@@ -40,7 +40,7 @@ from ..core.encoder import SudowoodoEncoder
 from ..core.pretrain import PretrainResult, pretrain
 from ..serve import EmbeddingStore, ServiceFrontend, ShardedMatchService
 from ..utils import Timer
-from .registry import Task, available_tasks, create_task
+from .registry import Task, TaskNotFittedError, available_tasks, create_task
 
 
 class SudowoodoSession:
@@ -216,6 +216,19 @@ class SudowoodoSession:
             if getattr(task, "fitted", False)
         }
 
+    def tasks(self) -> Dict[str, bool]:
+        """Every registered task name -> whether this session holds a
+        fitted instance of it.
+
+        Covers the full registry (including tasks this session never
+        instantiated, reported as ``False``), so callers can discover
+        what is *available* and what is *ready to serve* in one call.
+        """
+        return {
+            name: bool(getattr(self._tasks.get(name), "fitted", False))
+            for name in available_tasks()
+        }
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -261,9 +274,8 @@ class SudowoodoSession:
                     f"known tasks: {', '.join(available_tasks())}"
                 )
             if not getattr(bound, "fitted", False):
-                raise RuntimeError(
-                    f"task {getattr(bound, 'name', bound)!r} is not fitted; "
-                    "call fit() before serving it"
+                raise TaskNotFittedError(
+                    str(getattr(bound, "name", bound)), "serving it"
                 )
         overrides: Dict[str, Any] = {}
         if num_shards is not None:

@@ -24,7 +24,7 @@ from ..cleaning.cleaner import SudowoodoCleaner, cleaning_corpus
 from ..columns.clustering import discover_types
 from ..columns.matching import ColumnMatchingPipeline
 from ..core.pipeline import SudowoodoPipeline
-from .registry import register_task
+from .registry import TaskNotFittedError, register_task
 from .results import (
     BlockResult,
     CleanResult,
@@ -56,11 +56,9 @@ class SessionTask:
         self.session = session
         self.fitted = False
 
-    def _require_fitted(self) -> None:
+    def _require_fitted(self, operation: str = "this operation") -> None:
         if not self.fitted:
-            raise RuntimeError(
-                f"task {self.name!r} is not fitted; call fit() first"
-            )
+            raise TaskNotFittedError(self.name, operation)
 
     @property
     def matcher(self) -> Optional["PairwiseMatcher"]:

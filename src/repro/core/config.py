@@ -311,8 +311,9 @@ class SudowoodoConfig:
 
         Known tasks are the registered session tasks (``"match"``,
         ``"block"``, ``"clean"``, ``"column_match"``,
-        ``"column_cluster"``); ``overrides`` are applied on top of the
-        preset.  This replaces the old per-module ``cleaning_config()`` /
+        ``"column_cluster"``, and the discovery tier
+        ``"join_discovery"`` / ``"dedupe"`` / ``"streaming_er"``);
+        ``overrides`` are applied on top of the preset.  This replaces the old per-module ``cleaning_config()`` /
         ``column_config()`` helper copies.
         """
         if task not in TASK_CONFIG_DEFAULTS:
@@ -573,4 +574,16 @@ TASK_CONFIG_DEFAULTS: Dict[str, Dict[str, Any]] = {
         max_seq_len=40,
         pair_max_seq_len=72,
     ),
+    # Discovery tier: join discovery embeds serialized columns (same
+    # regime as the column tasks); dedupe is a self-join of the EM
+    # pipeline; streaming ER replays a feed through the serving stack.
+    "join_discovery": dict(
+        da_operator="cell_shuffle",
+        cutoff_kind="span",
+        use_pseudo_labeling=False,
+        max_seq_len=40,
+        pair_max_seq_len=72,
+    ),
+    "dedupe": {},
+    "streaming_er": {},
 }

@@ -25,6 +25,13 @@ from .columns import (
     ColumnCorpus,
     generate_column_corpus,
 )
+from .discovery import (
+    DIRTY_SCHEMA,
+    DirtyDuplicates,
+    JoinableTables,
+    generate_dirty_duplicates,
+    generate_joinable_tables,
+)
 from .engine import (
     DomainSpec,
     GenerationSpec,
@@ -40,11 +47,14 @@ __all__ = [
     "CleaningDataset",
     "Column",
     "ColumnCorpus",
+    "DIRTY_SCHEMA",
+    "DirtyDuplicates",
     "DomainSpec",
     "EM_DATASET_KEYS",
     "EXTRA_DATASET_KEYS",
     "FI",
     "GenerationSpec",
+    "JoinableTables",
     "MV",
     "SEMANTIC_TYPES",
     "TYPE_REGISTRY",
@@ -54,6 +64,8 @@ __all__ = [
     "corrupt_text",
     "dataset_statistics",
     "generate_column_corpus",
+    "generate_dirty_duplicates",
+    "generate_joinable_tables",
     "generate_two_table_dataset",
     "jitter_price",
     "load_cleaning_dataset",

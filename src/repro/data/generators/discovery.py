@@ -1,0 +1,309 @@
+"""Scenario generators for the discovery subsystem (``repro.discovery``).
+
+Two seeded, deterministic workloads that the data-integration report
+(Rezig et al.) places *around* the paper's matching core:
+
+* :func:`generate_joinable_tables` — a small lake of tables whose
+  columns overlap by construction: joinable column groups draw from a
+  shared value pool (high containment), noise columns are unique per
+  table (near-zero containment).  Ground truth is the set of
+  cross-table column pairs generated from the same pool, which is what
+  ``join_discovery`` rankings are scored against.
+* :func:`generate_dirty_duplicates` — one dirty product table where each
+  entity appears as 1..``max_duplicates`` corrupted rows (typos, dropped
+  brands, jittered prices, different ``updated`` stamps).  Ground truth
+  is the duplicate clustering plus the clean canonical attributes, which
+  scores both the ``dedupe`` match graph and its conflict-resolution
+  merges; the same rows make a natural streaming-ER feed.
+
+Both return plain :class:`~repro.data.records.Table` objects, so every
+existing serializer, embedding store, and service consumes them
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..records import Record, Table
+from . import vocab
+from .engine import corrupt_text, jitter_price
+
+#: A column reference: (table name, column name).
+ColumnRef = Tuple[str, str]
+
+
+# ----------------------------------------------------------------------
+# Joinable tables
+# ----------------------------------------------------------------------
+@dataclass
+class JoinableTables:
+    """A generated multi-table scenario with ground-truth joinability.
+
+    ``joinable`` holds every cross-table column pair drawn from the same
+    shared value pool, each stored once with its two refs sorted — use
+    :meth:`is_joinable` instead of probing the set directly.
+    """
+
+    tables: Dict[str, Table]
+    joinable: Set[Tuple[ColumnRef, ColumnRef]] = field(default_factory=set)
+
+    def columns(self) -> List[ColumnRef]:
+        """Every (table, column) ref, in deterministic schema order."""
+        return [
+            (name, attribute)
+            for name, table in self.tables.items()
+            for attribute in table.schema
+        ]
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns())
+
+    def is_joinable(self, a: ColumnRef, b: ColumnRef) -> bool:
+        """Whether ``a`` and ``b`` came from the same shared pool."""
+        return tuple(sorted((a, b))) in self.joinable
+
+
+def _product(rng: np.random.Generator) -> str:
+    return (
+        f"{rng.choice(vocab.BRANDS)} {rng.choice(vocab.PRODUCT_LINES)} "
+        f"{rng.choice(vocab.PRODUCT_TYPES)}"
+    )
+
+
+def _company(rng: np.random.Generator) -> str:
+    return f"{rng.choice(vocab.LAST_NAMES)} {rng.choice(vocab.COMPANY_SUFFIXES)}"
+
+
+def _person(rng: np.random.Generator) -> str:
+    return f"{rng.choice(vocab.LAST_NAMES)}, {rng.choice(vocab.FIRST_INITIALS)}."
+
+
+def _city_state(rng: np.random.Generator) -> str:
+    return f"{rng.choice(vocab.US_CITIES)}, {rng.choice(vocab.US_STATES)}"
+
+
+def _address(rng: np.random.Generator) -> str:
+    return f"{rng.integers(1, 999)} {rng.choice(vocab.STREET_NAMES)}"
+
+
+def _sku(rng: np.random.Generator) -> str:
+    return f"sku-{rng.integers(0, 10**6):06d}"
+
+
+#: Domain name -> (value factory, column-name variants).  Joinable columns
+#: deliberately get *different names* across tables — discovery must work
+#: from content, not from schema-name string matching.
+_JOIN_DOMAINS: Dict[str, Tuple[Callable[[np.random.Generator], str], Tuple[str, ...]]] = {
+    "product": (_product, ("product", "item_name", "title")),
+    "company": (_company, ("company", "vendor", "supplier")),
+    "person": (_person, ("author", "contact", "owner")),
+    "city": (_city_state, ("city", "location", "place")),
+    "address": (_address, ("address", "street", "addr")),
+    "sku": (_sku, ("sku", "product_id", "item_code")),
+}
+
+
+def generate_joinable_tables(
+    num_tables: int = 4,
+    rows: int = 40,
+    num_domains: int = 3,
+    noise_columns: int = 2,
+    pool_size: int = 60,
+    overlap: float = 0.8,
+    seed: int = 0,
+) -> JoinableTables:
+    """Generate ``num_tables`` tables with planted joinable column groups.
+
+    Each of ``num_domains`` domains builds one shared pool of
+    ``pool_size`` distinct values and hands a column to >= 2 randomly
+    chosen tables; every member column samples its cells from a random
+    ``overlap`` fraction of the pool, so cross-member containment is high
+    by construction while noise columns (per-table unique tokens) share
+    nothing.  Deterministic for a given seed.
+    """
+    if num_tables < 2:
+        raise ValueError("need at least 2 tables for joinability")
+    if not 0.0 < overlap <= 1.0:
+        raise ValueError("overlap must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    table_names = [f"table_{chr(ord('a') + i)}" for i in range(num_tables)]
+    columns: Dict[str, Dict[str, List[str]]] = {name: {} for name in table_names}
+    joinable: Set[Tuple[ColumnRef, ColumnRef]] = set()
+
+    domain_names = list(_JOIN_DOMAINS)
+    for index in range(num_domains):
+        domain = domain_names[index % len(domain_names)]
+        factory, variants = _JOIN_DOMAINS[domain]
+        pool: List[str] = []
+        pool_seen: Set[str] = set()
+        while len(pool) < pool_size:
+            value = factory(rng)
+            if value not in pool_seen:
+                pool_seen.add(value)
+                pool.append(value)
+        num_members = int(rng.integers(2, num_tables + 1))
+        members = sorted(
+            rng.choice(len(table_names), size=num_members, replace=False).tolist()
+        )
+        refs: List[ColumnRef] = []
+        for order, member in enumerate(members):
+            table_name = table_names[member]
+            column_name = variants[order % len(variants)]
+            if column_name in columns[table_name]:
+                column_name = f"{column_name}_{index}"
+            subset_size = max(2, int(round(overlap * pool_size)))
+            subset = rng.choice(pool_size, size=subset_size, replace=False)
+            values = [pool[int(i)] for i in rng.choice(subset, size=rows)]
+            columns[table_name][column_name] = values
+            refs.append((table_name, column_name))
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                joinable.add(tuple(sorted((refs[i], refs[j]))))
+
+    for table_name in table_names:
+        for n in range(noise_columns):
+            column_name = f"note_{n}"
+            columns[table_name][column_name] = [
+                f"{table_name}-{column_name}-{row:04d}-{rng.integers(0, 10**8):08d}"
+                for row in range(rows)
+            ]
+
+    tables: Dict[str, Table] = {}
+    for table_name in table_names:
+        schema = list(columns[table_name])
+        table = Table(name=table_name, schema=schema)
+        for row in range(rows):
+            table.append(
+                {attribute: columns[table_name][attribute][row] for attribute in schema}
+            )
+        tables[table_name] = table
+    return JoinableTables(tables=tables, joinable=joinable)
+
+
+# ----------------------------------------------------------------------
+# Dirty duplicates
+# ----------------------------------------------------------------------
+@dataclass
+class DirtyDuplicates:
+    """A dirty table whose rows are corrupted views of fewer entities.
+
+    ``clusters[c]`` lists the row indices of entity ``c`` (singletons
+    included); ``canonical[c]`` holds the entity's clean attributes —
+    what a perfect dedupe-and-merge would emit.
+    """
+
+    table: Table
+    clusters: List[List[int]] = field(default_factory=list)
+    canonical: List[Dict[str, str]] = field(default_factory=list)
+
+    def cluster_of(self) -> Dict[int, int]:
+        """Row index -> ground-truth cluster index."""
+        return {
+            row: cluster
+            for cluster, rows in enumerate(self.clusters)
+            for row in rows
+        }
+
+    def duplicate_pairs(self) -> Set[Tuple[int, int]]:
+        """Every co-cluster row pair, stored as ``(i, j)`` with i < j."""
+        pairs: Set[Tuple[int, int]] = set()
+        for rows in self.clusters:
+            for i in range(len(rows)):
+                for j in range(i + 1, len(rows)):
+                    pairs.add((rows[i], rows[j]))
+        return pairs
+
+    def reduction_ratio(self) -> float:
+        """Fraction of rows a perfect dedupe would remove."""
+        if not len(self.table):
+            return 0.0
+        return 1.0 - len(self.clusters) / len(self.table)
+
+
+DIRTY_SCHEMA = ["name", "brand", "category", "price", "updated"]
+
+
+def _entity(rng: np.random.Generator) -> Dict[str, str]:
+    brand = str(rng.choice(vocab.BRANDS))
+    name = (
+        f"{rng.choice(vocab.ADJECTIVES)} {brand} "
+        f"{rng.choice(vocab.PRODUCT_LINES)} {rng.choice(vocab.PRODUCT_TYPES)}"
+    )
+    return {
+        "name": name,
+        "brand": brand,
+        "category": str(rng.choice(vocab.CATEGORIES)),
+        "price": f"{rng.uniform(5, 900):.2f}",
+        "updated": _stamp(rng),
+    }
+
+
+def _stamp(rng: np.random.Generator) -> str:
+    """An ISO date in 2023 — lexicographic order is chronological order,
+    which is what the ``newest`` merge policy keys on."""
+    return f"2023-{int(rng.integers(1, 13)):02d}-{int(rng.integers(1, 29)):02d}"
+
+
+def generate_dirty_duplicates(
+    num_entities: int = 30,
+    max_duplicates: int = 4,
+    hardness: float = 0.3,
+    singleton_fraction: float = 0.3,
+    missing_rate: float = 0.15,
+    seed: int = 0,
+) -> DirtyDuplicates:
+    """Generate a shuffled dirty table with ground-truth duplicate groups.
+
+    Each entity appears once clean-ish and, unless it is a singleton
+    (``singleton_fraction`` of entities), as 1..``max_duplicates - 1``
+    additional corrupted rows: the name is noised via
+    :func:`~repro.data.generators.engine.corrupt_text` at ``hardness``,
+    the price jittered, the ``updated`` stamp re-drawn, and with
+    probability ``missing_rate`` the brand is blanked — the conflicting /
+    missing values the merge policies must resolve.  Deterministic for a
+    given seed.
+    """
+    if max_duplicates < 2:
+        raise ValueError("max_duplicates must be >= 2")
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, str]] = []
+    owners: List[int] = []
+    canonical: List[Dict[str, str]] = []
+    for entity_index in range(num_entities):
+        entity = _entity(rng)
+        canonical.append(dict(entity))
+        copies = (
+            1
+            if rng.random() < singleton_fraction
+            else int(rng.integers(2, max_duplicates + 1))
+        )
+        rows.append(dict(entity))
+        owners.append(entity_index)
+        for _ in range(copies - 1):
+            dirty = dict(entity)
+            dirty["name"] = corrupt_text(entity["name"], rng, hardness)
+            dirty["price"] = str(
+                jitter_price(float(entity["price"]), rng, hardness)
+            )
+            dirty["updated"] = _stamp(rng)
+            if rng.random() < missing_rate:
+                dirty["brand"] = ""
+            rows.append(dirty)
+            owners.append(entity_index)
+
+    order = rng.permutation(len(rows))
+    table = Table(name="dirty-duplicates", schema=list(DIRTY_SCHEMA))
+    clusters: List[List[int]] = [[] for _ in range(num_entities)]
+    for position, original in enumerate(order.tolist()):
+        table.append(rows[original])
+        clusters[owners[original]].append(position)
+    return DirtyDuplicates(
+        table=table,
+        clusters=[sorted(c) for c in clusters],
+        canonical=canonical,
+    )

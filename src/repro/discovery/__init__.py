@@ -1,0 +1,54 @@
+"""Data discovery & consolidation on top of the session API.
+
+The package adds the *integration pipeline* tier to the repo: with one
+pre-trained session you can now **discover** joinable columns across a
+lake of tables (:mod:`~repro.discovery.join`), **consolidate** a dirty
+table into canonical records via self-join entity matching plus
+conflict-resolution merging (:mod:`~repro.discovery.dedupe`), and
+**stress** the result under a live upsert/delete/search feed with
+first-class staleness metrics (:mod:`~repro.discovery.streaming`).
+
+Importing the package registers three session tasks —
+``join_discovery``, ``dedupe``, and ``streaming_er`` — next to the
+paper's original five:
+
+>>> session.task("join_discovery").fit(tables)       # doctest: +SKIP
+>>> session.task("dedupe").fit(dirty).report()       # doctest: +SKIP
+>>> session.serve("dedupe", frontend=True)           # doctest: +SKIP
+"""
+
+from .dedupe import (
+    MERGE_POLICIES,
+    cluster_pairs,
+    duplicate_clusters,
+    merge_records,
+    pairwise_metrics,
+    self_match_dataset,
+)
+from .join import (
+    ColumnProfile,
+    group_by_table,
+    profile_tables,
+    rank_join_candidates,
+)
+from .streaming import FeedEvent, make_feed, run_streaming_er
+from .tasks import DedupeTask, JoinDiscoveryTask, StreamingERTask
+
+__all__ = [
+    "ColumnProfile",
+    "DedupeTask",
+    "FeedEvent",
+    "JoinDiscoveryTask",
+    "MERGE_POLICIES",
+    "StreamingERTask",
+    "cluster_pairs",
+    "duplicate_clusters",
+    "group_by_table",
+    "make_feed",
+    "merge_records",
+    "pairwise_metrics",
+    "profile_tables",
+    "rank_join_candidates",
+    "run_streaming_er",
+    "self_match_dataset",
+]

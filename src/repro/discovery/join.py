@@ -1,0 +1,180 @@
+"""Joinable-column discovery: ANN candidates + containment-blended scores.
+
+Discovery is the stage *before* matching: given many tables, find the
+column pairs a join could run over.  The repo already owns every
+ingredient — column serialization, the shared embedding store, and the
+pluggable (sharded) ANN backends — so the engine here is deliberately
+thin:
+
+1. :func:`profile_tables` reduces each column to a
+   :class:`ColumnProfile`: its serialized text (what the session encoder
+   embeds) plus a :class:`~repro.serve.sketch.ContainmentSketch` of its
+   distinct values (O(k) memory, deterministic).
+2. :func:`rank_join_candidates` indexes the column embeddings into ONE
+   ANN backend (any registered backend — exact, LSH, HNSW, IVF-PQ — via
+   ``build_backend``), pulls each column's nearest neighbours as
+   candidates, and scores every cross-table candidate pair with
+   ``alpha * containment + (1 - alpha) * cosine``.
+
+Scores are computed from the *exact* embeddings and sketches (never from
+backend-reported distances), and ties break on the sorted column refs —
+which is why the ranking is invariant to ``num_shards`` for the exact
+backend (the sharded top-k provably equals the single-shard top-k, see
+``repro.serve.sharding``) and fully deterministic everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..api.results import JoinCandidate
+from ..core.config import SudowoodoConfig
+from ..data.records import Table, serialize_column
+from ..serve.backends import build_backend
+from ..serve.sketch import ContainmentSketch
+
+#: A column reference: (table name, column name).
+ColumnRef = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Everything join discovery keeps per column: identity, the
+    serialized text the encoder embeds, and the value sketch."""
+
+    table: str
+    column: str
+    text: str
+    sketch: ContainmentSketch
+    num_values: int
+
+    @property
+    def ref(self) -> ColumnRef:
+        return (self.table, self.column)
+
+
+def profile_tables(
+    tables: Dict[str, Table],
+    max_values: int = 12,
+    sketch_k: int = 256,
+) -> List[ColumnProfile]:
+    """Profile every column of every table, in deterministic order.
+
+    ``max_values`` caps how many cell values enter the *serialized text*
+    (embedding cost is per token); the sketch always sees every distinct
+    value — containment must not be truncated with the prompt.
+    """
+    profiles: List[ColumnProfile] = []
+    for table_name, table in tables.items():
+        for attribute in table.schema:
+            values = [v for v in table.column_values(attribute) if v]
+            profiles.append(
+                ColumnProfile(
+                    table=table_name,
+                    column=attribute,
+                    text=serialize_column(values, max_values=max_values),
+                    sketch=ContainmentSketch.from_values(values, k=sketch_k),
+                    num_values=len(values),
+                )
+            )
+    return profiles
+
+
+def _normalize_rows(vectors: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / np.maximum(norms, 1e-12)
+
+
+def rank_join_candidates(
+    profiles: Sequence[ColumnProfile],
+    vectors: np.ndarray,
+    config: Optional[SudowoodoConfig] = None,
+    k: int = 10,
+    alpha: float = 0.5,
+    min_score: float = 0.0,
+    include_intra_table: bool = False,
+    num_shards: Optional[int] = None,
+) -> List[JoinCandidate]:
+    """Ranked joinable column pairs over profiled columns.
+
+    ``vectors`` are the column embeddings (row i belongs to
+    ``profiles[i]``); the backend named by ``config.ann_backend`` (with
+    ``num_shards`` optionally overridden) proposes each column's ``k``
+    nearest columns, and every surviving cross-table pair is scored
+    ``alpha * containment + (1 - alpha) * max(cosine, 0)`` from the
+    exact sketches and embeddings.  Pairs scoring below ``min_score``
+    are dropped; the result is sorted by descending score with ties
+    broken on the sorted column refs, so rankings are reproducible and
+    (for the exact backend) independent of the shard count.
+    """
+    if len(profiles) != vectors.shape[0]:
+        raise ValueError(
+            f"{len(profiles)} profiles but {vectors.shape[0]} vectors"
+        )
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    config = config or SudowoodoConfig()
+    if num_shards is not None:
+        config = replace(config, num_shards=num_shards)
+    if len(profiles) < 2:
+        return []
+
+    normalized = _normalize_rows(np.asarray(vectors, dtype=np.float64))
+    backend = build_backend(config, sharded=True)
+    backend.build(normalized)
+    # k + 1 because every column's nearest neighbour is itself.
+    neighbor_ids, _ = backend.query(normalized, min(k + 1, len(profiles)))
+
+    candidate_pairs: Set[Tuple[int, int]] = set()
+    for i, row in enumerate(neighbor_ids):
+        for j in row:
+            j = int(j)
+            if j < 0 or j == i:
+                continue
+            if not include_intra_table and profiles[i].table == profiles[j].table:
+                continue
+            candidate_pairs.add((min(i, j), max(i, j)))
+
+    candidates: List[JoinCandidate] = []
+    for i, j in candidate_pairs:
+        cosine = float(np.dot(normalized[i], normalized[j]))
+        containment = max(
+            profiles[i].sketch.containment(profiles[j].sketch),
+            profiles[j].sketch.containment(profiles[i].sketch),
+        )
+        score = alpha * containment + (1.0 - alpha) * max(cosine, 0.0)
+        if score < min_score:
+            continue
+        first, second = sorted((profiles[i].ref, profiles[j].ref))
+        candidates.append(
+            JoinCandidate(
+                table_a=first[0],
+                column_a=first[1],
+                table_b=second[0],
+                column_b=second[1],
+                score=score,
+                containment=containment,
+                cosine=cosine,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.pair))
+    return candidates
+
+
+def group_by_table(
+    candidates: Sequence[JoinCandidate],
+) -> Dict[str, List[JoinCandidate]]:
+    """Per-table view: every table -> its candidates, rank order kept.
+
+    A candidate joins two tables, so it appears under both — the shape a
+    "what can I join *this* table with?" UI wants.
+    """
+    grouped: Dict[str, List[JoinCandidate]] = {}
+    for candidate in candidates:
+        grouped.setdefault(candidate.table_a, []).append(candidate)
+        if candidate.table_b != candidate.table_a:
+            grouped.setdefault(candidate.table_b, []).append(candidate)
+    return grouped

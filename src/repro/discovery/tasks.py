@@ -1,0 +1,423 @@
+"""Discovery tasks for the session registry: join_discovery, dedupe,
+streaming_er.
+
+These three tasks turn the session API into an end-to-end integration
+pipeline: *discover* joinable columns across a lake of tables, *dedupe*
+a dirty table into canonical records, and *stress* the consolidated
+index under a live upsert/delete/search feed — all against the one
+pre-trained encoder the session already paid for.
+
+>>> session.task("join_discovery").fit(tables).report()     # doctest: +SKIP
+>>> session.task("dedupe").fit(dirty).report()              # doctest: +SKIP
+>>> session.task("streaming_er").fit(dirty).predict()       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from ..api.registry import register_task
+from ..api.results import (
+    DedupeResult,
+    JoinCandidate,
+    JoinDiscoveryResult,
+    StreamingERResult,
+)
+from ..api.tasks import SessionTask
+from ..core.pipeline import SudowoodoPipeline
+from ..data.generators.discovery import DirtyDuplicates, JoinableTables
+from ..data.records import Record, Table, serialize_record
+from .dedupe import (
+    MERGE_POLICIES,
+    cluster_pairs,
+    duplicate_clusters,
+    merge_records,
+    normalize_pairs,
+    pairwise_metrics,
+    self_match_dataset,
+)
+from .join import ColumnProfile, group_by_table, profile_tables, rank_join_candidates
+from .streaming import FeedEvent, make_feed, run_streaming_er
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.matcher import PairwiseMatcher
+    from ..serve.frontend import ServiceFrontend
+
+
+@register_task("join_discovery")
+class JoinDiscoveryTask(SessionTask):
+    """Joinable-column discovery across many tables: profile every column
+    (serialized text + containment sketch), embed through the shared
+    store, index into one ANN backend, and rank cross-table pairs by
+    blended containment/cosine score."""
+
+    def __init__(self, session: Any) -> None:
+        super().__init__(session)
+        self._tables: Dict[str, Table] = {}
+        self._truth: Optional[set] = None
+        self._profiles: List[ColumnProfile] = []
+        self._candidates: List[JoinCandidate] = []
+
+    def fit(
+        self,
+        data: Union[JoinableTables, Dict[str, Table]],
+        k: int = 10,
+        alpha: float = 0.5,
+        max_values: int = 12,
+        sketch_k: int = 256,
+        min_score: float = 0.0,
+        num_shards: Optional[int] = None,
+    ) -> "JoinDiscoveryTask":
+        """Profile, embed, and rank.  ``data`` is either a generated
+        :class:`~repro.data.generators.discovery.JoinableTables` (its
+        ground truth then powers :meth:`evaluate`) or a plain
+        ``{name: Table}`` dict.  ``num_shards`` overrides the config's
+        shard count for the candidate backend — rankings are invariant
+        to it (scores come from exact embeddings and sketches)."""
+        if isinstance(data, JoinableTables):
+            self._tables = dict(data.tables)
+            self._truth = {tuple(pair) for pair in data.joinable}
+        else:
+            self._tables = dict(data)
+            self._truth = None
+        self._profiles = profile_tables(
+            self._tables, max_values=max_values, sketch_k=sketch_k
+        )
+        vectors = self.session.embed(
+            [profile.text for profile in self._profiles], normalize=True
+        )
+        self._candidates = rank_join_candidates(
+            self._profiles,
+            vectors,
+            config=self.session.config,
+            k=k,
+            alpha=alpha,
+            min_score=min_score,
+            num_shards=num_shards,
+        )
+        self.fitted = True
+        return self
+
+    def predict(
+        self, top: Optional[int] = None, table: Optional[str] = None
+    ) -> List[JoinCandidate]:
+        """The ranked candidates — optionally only those touching
+        ``table``, optionally truncated to the ``top`` best."""
+        self._require_fitted("predict()")
+        candidates = self._candidates
+        if table is not None:
+            candidates = group_by_table(candidates).get(table, [])
+        return candidates[:top] if top is not None else list(candidates)
+
+    def evaluate(
+        self, at: Optional[int] = None, **_: Any
+    ) -> Dict[str, float]:
+        """Recall / precision of the top-``at`` ranking against the
+        generator's ground truth (``at`` defaults to the number of true
+        joinable pairs); empty when no truth is available."""
+        self._require_fitted("evaluate()")
+        if not self._truth:
+            return {"num_candidates": float(len(self._candidates))}
+        n = at if at is not None else len(self._truth)
+        top = {candidate.pair for candidate in self._candidates[:n]}
+        hits = len(top & self._truth)
+        return {
+            "recall_at": hits / len(self._truth),
+            "precision_at": hits / n if n else 0.0,
+            "num_candidates": float(len(self._candidates)),
+        }
+
+    def corpus_texts(self) -> List[str]:
+        """The serialized columns — served as a live column index."""
+        return [profile.text for profile in self._profiles]
+
+    def report(self) -> JoinDiscoveryResult:
+        """Ranked candidates plus the per-table grouping."""
+        self._require_fitted("report()")
+        return JoinDiscoveryResult(
+            task=self.name,
+            metrics=self.evaluate(),
+            timings=self.session.timer.summary(),
+            num_tables=len(self._tables),
+            num_columns=len(self._profiles),
+            candidates=list(self._candidates),
+            by_table=group_by_table(self._candidates),
+        )
+
+
+@register_task("dedupe")
+class DedupeTask(SessionTask):
+    """Dedupe-and-merge over one dirty table: self-join EM matching
+    (blocking + pseudo-labels + fine-tuned matcher), connected-component
+    clustering, and per-attribute conflict resolution into canonical
+    records."""
+
+    def __init__(
+        self,
+        session: Any,
+        policy: str = "longest",
+        timestamp_attribute: str = "updated",
+    ) -> None:
+        super().__init__(session)
+        if policy not in MERGE_POLICIES:
+            raise ValueError(
+                f"unknown merge policy {policy!r}; choose from "
+                f"{', '.join(MERGE_POLICIES)}"
+            )
+        self.policy = policy
+        self.timestamp_attribute = timestamp_attribute
+        self._table: Optional[Table] = None
+        self._truth: Optional[set] = None
+        self._pipeline: Optional[SudowoodoPipeline] = None
+        self._clusters: List[List[int]] = []
+        self._canonical: List[Record] = []
+
+    def fit(
+        self,
+        data: Union[DirtyDuplicates, Table],
+        label_budget: int = 0,
+        threshold: float = 0.6,
+        k: Optional[int] = None,
+        head: str = "sudowoodo",
+        seed: int = 0,
+    ) -> "DedupeTask":
+        """Match the table against itself and consolidate.
+
+        With a generated
+        :class:`~repro.data.generators.discovery.DirtyDuplicates` the
+        known duplicate pairs build a labeled split (enabling
+        ``label_budget`` > 0 and held-out evaluation); a bare ``Table``
+        trains purely on pseudo-labels, so ``label_budget`` must be 0.
+        ``threshold`` is the match probability above which a candidate
+        pair becomes an edge of the duplicate graph.
+        """
+        if isinstance(data, DirtyDuplicates):
+            self._table = data.table
+            self._truth = set(data.duplicate_pairs())
+        else:
+            self._table = data
+            self._truth = None
+        if label_budget > 0 and not self._truth:
+            raise ValueError(
+                "label_budget > 0 needs known duplicate pairs; fit with a "
+                "DirtyDuplicates or use label_budget=0 (pseudo-labels only)"
+            )
+        dataset = self_match_dataset(
+            self._table, truth_pairs=self._truth, seed=seed
+        )
+        self._pipeline = SudowoodoPipeline._attached(
+            self.session.config,
+            dataset,
+            self.session.checkout_encoder(),
+            self.session.store,
+        )
+        self._pipeline.train_matcher(label_budget, head=head)
+
+        candidates = self._pipeline.block(k)
+        # Self-join blocking proposes (i, i) and both orientations; keep
+        # one canonical copy of each genuine pair.
+        pairs = sorted(normalize_pairs(candidates.pairs))
+        edges: List[tuple] = []
+        if pairs:
+            texts = [
+                (dataset.serialize_a(a), dataset.serialize_b(b)) for a, b in pairs
+            ]
+            probabilities = self._pipeline.matcher.predict_proba(
+                texts, batch_size=self.session.config.serve_batch_size
+            )
+            edges = [
+                pair
+                for pair, row in zip(pairs, probabilities)
+                if float(row[1]) >= threshold
+            ]
+        self._clusters = duplicate_clusters(len(self._table), edges)
+        self._canonical = [
+            merge_records(
+                [self._table[index] for index in cluster],
+                policy=self.policy,
+                timestamp_attribute=self.timestamp_attribute,
+                record_id=position,
+                schema=self._table.schema,
+            )
+            for position, cluster in enumerate(self._clusters)
+        ]
+        self.fitted = True
+        return self
+
+    @property
+    def matcher(self) -> Optional["PairwiseMatcher"]:
+        """The fine-tuned self-match matcher once fitted."""
+        return self._pipeline.matcher if self._pipeline else None
+
+    def predict(self) -> List[List[int]]:
+        """The duplicate clusters (sorted record-index lists; singletons
+        included, so the clusters partition the table)."""
+        self._require_fitted("predict()")
+        return list(self._clusters)
+
+    def canonical_records(self) -> List[Record]:
+        """One merged record per cluster, in cluster order."""
+        self._require_fitted("canonical_records()")
+        return list(self._canonical)
+
+    def reduction_ratio(self) -> float:
+        """Fraction of records eliminated by consolidation."""
+        self._require_fitted("reduction_ratio()")
+        if not self._table or len(self._table) == 0:
+            return 0.0
+        return 1.0 - len(self._clusters) / len(self._table)
+
+    def evaluate(self, **_: Any) -> Dict[str, float]:
+        """Pairwise P/R/F1 of the final clustering against the known
+        duplicate pairs (when available), plus consolidation stats."""
+        self._require_fitted("evaluate()")
+        metrics: Dict[str, float] = {}
+        if self._truth is not None:
+            metrics.update(
+                pairwise_metrics(cluster_pairs(self._clusters), self._truth)
+            )
+        metrics["num_clusters"] = float(len(self._clusters))
+        metrics["reduction_ratio"] = self.reduction_ratio()
+        return metrics
+
+    def corpus_texts(self) -> List[str]:
+        """Serialized *canonical* records — serving exports the cleaned
+        view of the table, not the dirty input."""
+        if not self.fitted or self._table is None:
+            return []
+        return [
+            serialize_record(record, self._table.schema)
+            for record in self._canonical
+        ]
+
+    def report(self) -> DedupeResult:
+        """Clusters, canonical records, and the consolidation metrics."""
+        self._require_fitted("report()")
+        assert self._pipeline is not None and self._table is not None
+        return DedupeResult(
+            task=self.name,
+            metrics=self.evaluate(),
+            timings=self._pipeline.timer.summary(),
+            dataset=self._table.name,
+            policy=self.policy,
+            num_records=len(self._table),
+            clusters=list(self._clusters),
+            canonical_records=list(self._canonical),
+            reduction_ratio=self.reduction_ratio(),
+        )
+
+
+@register_task("streaming_er")
+class StreamingERTask(SessionTask):
+    """Streaming entity resolution: replay a deterministic live feed of
+    upserts / deletes / searches through the production service tier,
+    measuring index staleness, sustained QPS, and load shedding."""
+
+    def __init__(self, session: Any) -> None:
+        super().__init__(session)
+        self._initial: List[str] = []
+        self._events: List[FeedEvent] = []
+        self._stats: Optional[Dict[str, float]] = None
+
+    def fit(
+        self,
+        data: Union[DirtyDuplicates, Table, Sequence[str]],
+        num_events: int = 60,
+        initial_fraction: float = 0.5,
+        search_fraction: float = 0.5,
+        delete_fraction: float = 0.15,
+        k: int = 5,
+        seed: int = 0,
+    ) -> "StreamingERTask":
+        """Materialize the feed.  ``data`` (a dirty-duplicates bundle, a
+        table, or raw serialized texts) is split: the first
+        ``initial_fraction`` seeds the index, the rest arrives as
+        upserts; the event mix follows ``search_fraction`` /
+        ``delete_fraction``.  Same data + seed -> identical feed."""
+        if isinstance(data, DirtyDuplicates):
+            table = data.table
+            texts = [serialize_record(record, table.schema) for record in table]
+        elif isinstance(data, Table):
+            texts = [serialize_record(record, data.schema) for record in data]
+        else:
+            texts = list(data)
+        if not texts:
+            raise ValueError("streaming_er needs a non-empty corpus")
+        if not 0.0 < initial_fraction <= 1.0:
+            raise ValueError("initial_fraction must be in (0, 1]")
+        split = max(1, int(len(texts) * initial_fraction))
+        self._initial = texts[:split]
+        self._events = make_feed(
+            self._initial,
+            texts[split:],
+            num_events=num_events,
+            search_fraction=search_fraction,
+            delete_fraction=delete_fraction,
+            k=k,
+            seed=seed,
+        )
+        self._stats = None
+        self.fitted = True
+        return self
+
+    @property
+    def events(self) -> List[FeedEvent]:
+        """The materialized feed (raises before :meth:`fit`)."""
+        self._require_fitted("reading events")
+        return list(self._events)
+
+    def corpus_texts(self) -> List[str]:
+        """The initial corpus — what the index holds before the feed."""
+        return list(self._initial)
+
+    def predict(
+        self,
+        frontend: Optional["ServiceFrontend"] = None,
+        flush_every: int = 8,
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+        num_shards: Optional[int] = None,
+        clock: Any = None,
+    ) -> Dict[str, float]:
+        """Run the feed and return the scorecard (see
+        :func:`~repro.discovery.streaming.run_streaming_er`).  Without an
+        explicit ``frontend`` the session serves this task behind a fresh
+        :class:`~repro.serve.frontend.ServiceFrontend` (admission control
+        + deadlines + metrics), pre-indexed with the initial corpus."""
+        self._require_fitted("predict()")
+        if frontend is None:
+            frontend = self.session.serve(
+                self, frontend=True, num_shards=num_shards
+            )
+        self._stats = run_streaming_er(
+            frontend,
+            self._events,
+            flush_every=flush_every,
+            deadline_ms=deadline_ms,
+            priority=priority,
+            clock=clock,
+        )
+        return dict(self._stats)
+
+    def evaluate(self, **options: Any) -> Dict[str, float]:
+        """The latest run's scorecard (runs the feed once if needed)."""
+        self._require_fitted("evaluate()")
+        if self._stats is None:
+            self.predict(**options)
+        assert self._stats is not None
+        return dict(self._stats)
+
+    def report(self) -> StreamingERResult:
+        """Feed accounting plus freshness / throughput metrics."""
+        self._require_fitted("report()")
+        stats = self.evaluate()
+        return StreamingERResult(
+            task=self.name,
+            metrics=stats,
+            timings=self.session.timer.summary(),
+            num_events=int(stats["events"]),
+            upserts=int(stats["upserts"]),
+            deletes=int(stats["deletes"]),
+            searches=int(stats["searches"]),
+            final_index_size=int(stats["final_index_size"]),
+        )

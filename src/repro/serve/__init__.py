@@ -42,6 +42,11 @@ discovery.  This package makes that reuse concrete at serving time:
   ``reindex(new_encoder)``.  Configured by ``max_queue_depth`` /
   ``default_deadline_ms`` / ``priority_levels`` and returned by
   ``session.serve(..., frontend=True)``.
+* :class:`ContainmentSketch` / :class:`StalenessGauge` — discovery-tier
+  helpers: bottom-k value sketches for joinability scoring (O(k) memory
+  per column, deterministic hashing) and an index-freshness gauge that
+  turns "how far behind the feed is the index" into streaming
+  histograms for the streaming-ER scenario (``repro.discovery``).
 """
 
 from .backends import (
@@ -64,8 +69,9 @@ from .frontend import (
 )
 from .hnsw import HNSWIndex
 from .ivfpq import IVFPQBackend, ProductQuantizer
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, StalenessGauge
 from .service import MatchService
+from .sketch import ContainmentSketch
 from .sharding import (
     QueryCoalescer,
     ReadWriteLock,
@@ -78,6 +84,7 @@ from .vecstore import MemmapVectorStore, dequantize_rows, quantize_rows
 
 __all__ = [
     "ANNBackend",
+    "ContainmentSketch",
     "Counter",
     "DeadlineExceeded",
     "EmbeddingStore",
@@ -101,6 +108,7 @@ __all__ = [
     "ServiceFrontend",
     "ShardedBackend",
     "ShardedMatchService",
+    "StalenessGauge",
     "available_backends",
     "build_backend",
     "build_frontend",

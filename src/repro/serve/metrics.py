@@ -193,6 +193,75 @@ class Histogram:
             }
 
 
+class StalenessGauge:
+    """Index freshness versus a live feed: how old is what's searchable?
+
+    A streaming index that batches writes is always a little behind the
+    feed; this helper makes that lag a first-class metric.  Callers
+    :meth:`ingested` each write when it *arrives* (enters the pending
+    buffer) and :meth:`applied` it when it becomes *searchable* (the
+    buffer flushes into the index); the gauge then answers two questions:
+
+    * :meth:`age` — the age of the oldest still-pending write, i.e. how
+      stale the index is right now (0 when fully caught up);
+    * per-write staleness — recorded into the ``<name>.staleness_s``
+      histogram at apply time (arrival -> visible latency), with the
+      pending backlog mirrored on the ``<name>.pending_writes`` gauge.
+
+    Single-writer by design: the streaming scenarios drive one ingest
+    loop, so the FIFO needs no lock of its own — cross-thread visibility
+    comes from the registry's own locked metrics.
+    """
+
+    def __init__(
+        self,
+        metrics: "MetricsRegistry",
+        name: str = "staleness",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.name = name
+        self._clock = clock or time.perf_counter
+        self._pending: List[float] = []  # arrival times, FIFO
+
+    @property
+    def pending(self) -> int:
+        """Writes ingested but not yet applied."""
+        return len(self._pending)
+
+    def ingested(self, count: int = 1, now: Optional[float] = None) -> None:
+        """Record ``count`` writes arriving from the feed."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        stamp = self._clock() if now is None else float(now)
+        self._pending.extend([stamp] * count)
+        self.metrics.gauge(f"{self.name}.pending_writes").set(len(self._pending))
+
+    def applied(self, count: Optional[int] = None, now: Optional[float] = None) -> None:
+        """Mark the ``count`` oldest pending writes as searchable (all of
+        them when ``count`` is None), recording each one's arrival ->
+        visible age into the staleness histogram."""
+        stamp = self._clock() if now is None else float(now)
+        if count is None:
+            count = len(self._pending)
+        if count > len(self._pending):
+            raise ValueError(
+                f"cannot apply {count} writes; only {len(self._pending)} pending"
+            )
+        histogram = self.metrics.histogram(f"{self.name}.staleness_s")
+        for arrival in self._pending[:count]:
+            histogram.record(max(0.0, stamp - arrival))
+        del self._pending[:count]
+        self.metrics.gauge(f"{self.name}.pending_writes").set(len(self._pending))
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Age of the oldest pending write in seconds (0 when caught up)."""
+        if not self._pending:
+            return 0.0
+        stamp = self._clock() if now is None else float(now)
+        return max(0.0, stamp - self._pending[0])
+
+
 class MetricsRegistry:
     """Name-keyed counters / gauges / histograms with one dict snapshot.
 

@@ -1,0 +1,264 @@
+"""Session-API tests for the discovery tasks: join_discovery, dedupe,
+streaming_er — lifecycle, typed unfitted errors, shard invariance, and
+serving exports."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DedupeResult,
+    JoinDiscoveryResult,
+    StreamingERResult,
+    SudowoodoConfig,
+    SudowoodoSession,
+    TaskNotFittedError,
+    available_tasks,
+    create_task,
+)
+from repro.data.generators import (
+    generate_dirty_duplicates,
+    generate_joinable_tables,
+)
+from repro.data.records import serialize_record
+from repro.discovery.join import profile_tables
+from repro.serve import ServiceFrontend
+
+
+def discovery_config(**overrides):
+    defaults = dict(
+        dim=24,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=48,
+        max_seq_len=32,
+        pair_max_seq_len=64,
+        vocab_size=1200,
+        pretrain_epochs=3,
+        pretrain_batch_size=8,
+        finetune_epochs=6,
+        finetune_batch_size=8,
+        num_clusters=3,
+        corpus_cap=128,
+        multiplier=2,
+        mlm_warm_start_epochs=0,
+        blocking_k=4,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SudowoodoConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def joinable():
+    return generate_joinable_tables(num_tables=3, rows=20, seed=1)
+
+
+@pytest.fixture(scope="module")
+def dirty():
+    return generate_dirty_duplicates(num_entities=12, hardness=0.15, seed=2)
+
+
+@pytest.fixture(scope="module")
+def session(joinable, dirty):
+    """One pretrained session shared (read-only fits) by the suite."""
+    session = SudowoodoSession(discovery_config())
+    corpus = [profile.text for profile in profile_tables(joinable.tables)] + [
+        serialize_record(record, dirty.table.schema) for record in dirty.table
+    ]
+    session.pretrain(corpus)
+    return session
+
+
+class TestRegistrySatellites:
+    def test_discovery_tasks_registered(self):
+        names = available_tasks()
+        for name in ("join_discovery", "dedupe", "streaming_er"):
+            assert name in names
+
+    def test_unknown_task_error_lists_discovery_tasks(self, session):
+        with pytest.raises(ValueError, match="join_discovery") as excinfo:
+            session.task("no_such_task")
+        message = str(excinfo.value)
+        assert "dedupe" in message and "streaming_er" in message
+
+    def test_tasks_listing_tracks_fitted_state(self, joinable):
+        fresh = SudowoodoSession(discovery_config(pretrain_epochs=1))
+        listing = fresh.tasks()
+        assert set(listing) == set(available_tasks())
+        assert not any(listing.values())
+        fresh.pretrain(
+            [profile.text for profile in profile_tables(joinable.tables)]
+        )
+        fresh.task("join_discovery").fit(joinable, k=4)
+        listing = fresh.tasks()
+        assert listing["join_discovery"] is True
+        assert listing["dedupe"] is False
+
+    @pytest.mark.parametrize(
+        "name", ["join_discovery", "dedupe", "streaming_er"]
+    )
+    def test_unfitted_operations_raise_typed_error(self, session, name):
+        task = create_task(name, session)
+        for operation in (task.predict, task.evaluate, task.report):
+            with pytest.raises(TaskNotFittedError, match="not fitted"):
+                operation()
+        with pytest.raises(TaskNotFittedError) as excinfo:
+            session.serve(task)
+        assert excinfo.value.task == name
+        # Still a RuntimeError, so pre-existing handlers keep working.
+        assert isinstance(excinfo.value, RuntimeError)
+
+
+class TestJoinDiscoveryTask:
+    @pytest.fixture(scope="class")
+    def fitted(self, session, joinable):
+        return session.task("join_discovery", fresh=True).fit(joinable, k=5)
+
+    def test_recall_floor(self, fitted):
+        metrics = fitted.evaluate()
+        assert metrics["recall_at"] >= 0.6
+
+    def test_report_shape(self, fitted, joinable):
+        report = fitted.report()
+        assert isinstance(report, JoinDiscoveryResult)
+        assert report.num_tables == len(joinable.tables)
+        assert report.num_columns == joinable.num_columns
+        assert report.candidates
+        for table, members in report.by_table.items():
+            assert all(table in (c.table_a, c.table_b) for c in members)
+
+    def test_rankings_invariant_across_shard_counts(self, session, joinable):
+        rankings = []
+        for num_shards in (1, 2, 3):
+            task = session.task("join_discovery", fresh=True).fit(
+                joinable, k=5, num_shards=num_shards
+            )
+            rankings.append(
+                [(c.pair, round(c.score, 12)) for c in task.predict()]
+            )
+        assert rankings[0] == rankings[1] == rankings[2]
+
+    def test_predict_filters(self, fitted):
+        top = fitted.predict(top=3)
+        assert len(top) <= 3
+        for candidate in fitted.predict(table="table_a"):
+            assert "table_a" in (candidate.table_a, candidate.table_b)
+
+    def test_serving_indexes_columns(self, session, fitted):
+        service = session.serve(fitted)
+        assert service.index_size == len(fitted.corpus_texts())
+
+
+class TestDedupeTask:
+    @pytest.fixture(scope="class")
+    def fitted(self, session, dirty):
+        return session.task("dedupe", fresh=True).fit(
+            dirty, label_budget=60, threshold=0.5
+        )
+
+    def test_quality_floor(self, fitted):
+        metrics = fitted.evaluate()
+        assert metrics["f1"] >= 0.6
+        assert metrics["reduction_ratio"] > 0.0
+
+    def test_clusters_partition_table(self, fitted, dirty):
+        clusters = fitted.predict()
+        flat = sorted(i for cluster in clusters for i in cluster)
+        assert flat == list(range(len(dirty.table)))
+        assert any(len(cluster) == 1 for cluster in clusters)
+
+    def test_canonical_records_one_per_cluster(self, fitted, dirty):
+        canonical = fitted.canonical_records()
+        assert len(canonical) == len(fitted.predict())
+        for record in canonical:
+            assert list(record.attributes) == dirty.table.schema
+
+    def test_conflicting_values_resolved_by_policy(self, session, dirty):
+        newest = session.task("dedupe", fresh=True, policy="newest").fit(
+            dirty, label_budget=60, threshold=0.5
+        )
+        for cluster, record in zip(newest.predict(), newest.canonical_records()):
+            members = [dirty.table[i] for i in cluster]
+            stamps = [m.get("updated") for m in members if m.get("name")]
+            names = [m.get("name") for m in members if m.get("name")]
+            if names:
+                # The canonical name belongs to a member with the newest stamp.
+                best = max(stamps)
+                allowed = {
+                    name for name, stamp in zip(names, stamps) if stamp == best
+                }
+                assert record.get("name") in allowed
+
+    def test_report_shape(self, fitted, dirty):
+        report = fitted.report()
+        assert isinstance(report, DedupeResult)
+        assert report.dataset == dirty.table.name
+        assert report.policy == "longest"
+        assert report.num_records == len(dirty.table)
+        assert report.reduction_ratio == pytest.approx(
+            1 - len(report.clusters) / len(dirty.table)
+        )
+
+    def test_serving_exports_canonical_view(self, session, fitted):
+        service = session.serve(fitted)
+        assert service.index_size == len(fitted.canonical_records())
+
+    def test_label_budget_requires_truth(self, session, dirty):
+        task = session.task("dedupe", fresh=True)
+        with pytest.raises(ValueError, match="label_budget"):
+            task.fit(dirty.table, label_budget=10)
+
+    def test_invalid_policy_rejected(self, session):
+        with pytest.raises(ValueError, match="policy"):
+            session.task("dedupe", fresh=True, policy="wrongest")
+
+
+class TestStreamingERTask:
+    @pytest.fixture(scope="class")
+    def fitted(self, session, dirty):
+        return session.task("streaming_er", fresh=True).fit(
+            dirty, num_events=30, delete_fraction=0.2, seed=3
+        )
+
+    def test_feed_is_deterministic(self, session, dirty):
+        one = session.task("streaming_er", fresh=True).fit(
+            dirty, num_events=30, seed=3
+        )
+        two = session.task("streaming_er", fresh=True).fit(
+            dirty, num_events=30, seed=3
+        )
+        assert one.events == two.events
+
+    def test_predict_serves_through_frontend(self, fitted):
+        stats = fitted.predict(flush_every=4)
+        assert stats["events"] == 30
+        assert stats["searches_completed"] > 0
+        assert stats["qps"] > 0
+        assert stats["pending_writes"] == 0.0
+        assert stats["staleness_p99_s"] >= 0.0
+
+    def test_deletions_reflected_in_index_size(self, fitted):
+        stats = fitted.evaluate()
+        assert stats["deletes"] > 0, "feed must delete mid-stream"
+        expected = (
+            len(fitted.corpus_texts()) + stats["upserts"] - stats["deletes"]
+        )
+        assert stats["final_index_size"] == expected
+
+    def test_explicit_frontend_and_metrics(self, session, fitted):
+        frontend = session.serve(fitted, frontend=True)
+        assert isinstance(frontend, ServiceFrontend)
+        stats = fitted.predict(frontend=frontend, flush_every=4)
+        snapshot = frontend.metrics_snapshot()
+        assert "streaming_er.staleness_s" in snapshot["histograms"]
+        assert (
+            snapshot["gauges"]["streaming_er.pending_writes"] == 0.0
+        )
+        assert stats["shed"] == 0.0 and stats["expired"] == 0.0
+
+    def test_report_shape(self, fitted):
+        report = fitted.report()
+        assert isinstance(report, StreamingERResult)
+        assert report.num_events == 30
+        assert report.upserts + report.deletes + report.searches == 30
+        assert "qps" in report.metrics

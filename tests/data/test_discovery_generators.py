@@ -1,0 +1,122 @@
+"""Tests for the discovery-tier generators: joinable table lakes and
+dirty single tables with known duplicate clusters."""
+
+import pytest
+
+from repro.data.generators import (
+    DIRTY_SCHEMA,
+    generate_dirty_duplicates,
+    generate_joinable_tables,
+)
+
+
+class TestJoinableTables:
+    def test_deterministic_per_seed(self):
+        one = generate_joinable_tables(seed=11)
+        two = generate_joinable_tables(seed=11)
+        assert one.joinable == two.joinable
+        for name in one.tables:
+            assert [r.attributes for r in one.tables[name]] == [
+                r.attributes for r in two.tables[name]
+            ]
+        assert generate_joinable_tables(seed=12).joinable != one.joinable
+
+    def test_shape(self):
+        bundle = generate_joinable_tables(
+            num_tables=5, rows=25, num_domains=3, noise_columns=2, seed=0
+        )
+        assert len(bundle.tables) == 5
+        for table in bundle.tables.values():
+            assert len(table) == 25
+        assert bundle.joinable, "expected at least one joinable pair"
+
+    def test_truth_pairs_reference_real_columns(self):
+        bundle = generate_joinable_tables(seed=4)
+        columns = set(bundle.columns())
+        for left, right in bundle.joinable:
+            assert left in columns and right in columns
+            assert left[0] != right[0], "joinable pairs span tables"
+            assert bundle.is_joinable(left, right)
+            assert bundle.is_joinable(right, left)
+
+    def test_joinable_columns_actually_overlap(self):
+        bundle = generate_joinable_tables(rows=40, overlap=0.8, seed=6)
+        for (table_a, col_a), (table_b, col_b) in bundle.joinable:
+            values_a = set(bundle.tables[table_a].column_values(col_a))
+            values_b = set(bundle.tables[table_b].column_values(col_b))
+            shared = values_a & values_b - {""}
+            assert shared, f"{(table_a, col_a)} vs {(table_b, col_b)}"
+
+    def test_noise_columns_do_not_overlap(self):
+        bundle = generate_joinable_tables(noise_columns=2, seed=3)
+        noise_values = []
+        for table in bundle.tables.values():
+            for column in table.schema:
+                if column.startswith("note_"):
+                    noise_values.append(set(table.column_values(column)))
+        for i, left in enumerate(noise_values):
+            for right in noise_values[i + 1 :]:
+                assert not (left & right)
+
+
+class TestDirtyDuplicates:
+    def test_deterministic_per_seed(self):
+        one = generate_dirty_duplicates(seed=21)
+        two = generate_dirty_duplicates(seed=21)
+        assert one.clusters == two.clusters
+        assert [r.attributes for r in one.table] == [
+            r.attributes for r in two.table
+        ]
+
+    def test_clusters_partition_the_table(self):
+        bundle = generate_dirty_duplicates(num_entities=20, seed=2)
+        flat = sorted(i for cluster in bundle.clusters for i in cluster)
+        assert flat == list(range(len(bundle.table)))
+
+    def test_singletons_present(self):
+        bundle = generate_dirty_duplicates(
+            num_entities=30, singleton_fraction=0.4, seed=1
+        )
+        sizes = [len(cluster) for cluster in bundle.clusters]
+        assert any(size == 1 for size in sizes)
+        assert any(size > 1 for size in sizes)
+
+    def test_cluster_of_and_duplicate_pairs_agree(self):
+        bundle = generate_dirty_duplicates(num_entities=10, seed=5)
+        pairs = bundle.duplicate_pairs()
+        owner = bundle.cluster_of()
+        for a, b in pairs:
+            assert owner[a] == owner[b]
+        for cluster in bundle.clusters:
+            for i, a in enumerate(cluster):
+                for b in cluster[i + 1 :]:
+                    assert (min(a, b), max(a, b)) in pairs
+
+    def test_schema_and_timestamps(self):
+        bundle = generate_dirty_duplicates(num_entities=6, seed=0)
+        assert bundle.table.schema == list(DIRTY_SCHEMA)
+        for record in bundle.table:
+            stamp = record.get("updated")
+            assert len(stamp) == 10 and stamp[:4] == "2023"
+
+    def test_reduction_ratio(self):
+        bundle = generate_dirty_duplicates(num_entities=15, seed=7)
+        expected = 1 - len(bundle.clusters) / len(bundle.table)
+        assert bundle.reduction_ratio() == pytest.approx(expected)
+
+    def test_duplicates_are_corrupted_not_identical(self):
+        bundle = generate_dirty_duplicates(
+            num_entities=20, hardness=0.5, singleton_fraction=0.0, seed=9
+        )
+        differing = 0
+        for cluster in bundle.clusters:
+            if len(cluster) < 2:
+                continue
+            rows = [bundle.table[i].attributes for i in cluster]
+            if any(row != rows[0] for row in rows[1:]):
+                differing += 1
+        assert differing > 0
+
+    def test_invalid_max_duplicates_raises(self):
+        with pytest.raises(ValueError, match="max_duplicates"):
+            generate_dirty_duplicates(max_duplicates=1)

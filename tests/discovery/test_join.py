@@ -1,0 +1,162 @@
+"""Join-discovery engine tests: containment sketches, candidate ranking,
+and shard-count invariance of the rankings."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import SudowoodoConfig
+from repro.data.generators import generate_joinable_tables
+from repro.discovery import (
+    ColumnProfile,
+    group_by_table,
+    profile_tables,
+    rank_join_candidates,
+)
+from repro.serve import ContainmentSketch
+
+
+class TestContainmentSketch:
+    def test_exact_at_small_cardinality(self):
+        a = ContainmentSketch.from_values([f"v{i}" for i in range(30)], k=64)
+        b = ContainmentSketch.from_values([f"v{i}" for i in range(15, 45)], k=64)
+        assert a.is_exact and b.is_exact
+        assert a.cardinality() == pytest.approx(30)
+        assert a.intersection(b) == pytest.approx(15)
+        assert a.containment(b) == pytest.approx(0.5)
+        assert a.jaccard(b) == pytest.approx(15 / 45)
+
+    def test_duplicates_and_empties_ignored(self):
+        sketch = ContainmentSketch.from_values(["x", "x", "", "y", "x"], k=8)
+        assert len(sketch) == 2
+        assert sketch.cardinality() == pytest.approx(2)
+
+    def test_estimates_within_tolerance_when_sketched(self):
+        universe = [f"value-{i:05d}" for i in range(4000)]
+        a = ContainmentSketch.from_values(universe[:3000], k=256)
+        b = ContainmentSketch.from_values(universe[1000:4000], k=256)
+        assert not a.is_exact
+        assert a.cardinality() == pytest.approx(3000, rel=0.15)
+        # True containment |A∩B|/|A| = 2000/3000.
+        assert a.containment(b) == pytest.approx(2 / 3, abs=0.12)
+
+    def test_disjoint_sets_have_zero_containment(self):
+        a = ContainmentSketch.from_values([f"a{i}" for i in range(500)], k=128)
+        b = ContainmentSketch.from_values([f"b{i}" for i in range(500)], k=128)
+        assert a.containment(b) == pytest.approx(0.0, abs=0.05)
+
+    def test_order_insensitive(self):
+        values = [f"v{i}" for i in range(1000)]
+        forward = ContainmentSketch.from_values(values, k=64)
+        backward = ContainmentSketch.from_values(values[::-1], k=64)
+        assert forward.cardinality() == backward.cardinality()
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return generate_joinable_tables(num_tables=4, rows=30, seed=7)
+
+
+@pytest.fixture(scope="module")
+def profiles(bundle):
+    return profile_tables(bundle.tables)
+
+
+def embed_columns(profiles):
+    """Cheap deterministic stand-in embeddings: hashed bag-of-values.
+
+    Columns drawing from the same pool share values, hence similar
+    vectors — enough signal for the ANN candidate stage without a
+    trained encoder.
+    """
+    dim = 64
+    vectors = np.zeros((len(profiles), dim))
+    for row, profile in enumerate(profiles):
+        for token in profile.text.split():
+            if token == "[VAL]":
+                continue
+            vectors[row, zlib.crc32(token.encode()) % dim] += 1.0
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / np.maximum(norms, 1e-12)
+
+
+class TestRanking:
+    def test_profiles_cover_every_column(self, bundle, profiles):
+        assert len(profiles) == bundle.num_columns
+        refs = {profile.ref for profile in profiles}
+        assert refs == set(bundle.columns())
+
+    def test_truth_pairs_rank_above_noise(self, bundle, profiles):
+        vectors = embed_columns(profiles)
+        candidates = rank_join_candidates(
+            profiles, vectors, k=6, alpha=0.6
+        )
+        assert candidates, "expected at least one candidate"
+        n = len(bundle.joinable)
+        top = {candidate.pair for candidate in candidates[:n]}
+        hits = len(top & bundle.joinable)
+        assert hits / n >= 0.6
+        # Sorted by score, tie-broken deterministically.
+        keys = [(-c.score, c.pair) for c in candidates]
+        assert keys == sorted(keys)
+
+    def test_no_intra_table_pairs_by_default(self, profiles):
+        vectors = embed_columns(profiles)
+        for candidate in rank_join_candidates(profiles, vectors, k=6):
+            assert candidate.table_a != candidate.table_b
+
+    def test_scores_blend_containment_and_cosine(self, profiles):
+        vectors = embed_columns(profiles)
+        for candidate in rank_join_candidates(profiles, vectors, k=6, alpha=0.5):
+            expected = 0.5 * candidate.containment + 0.5 * max(
+                candidate.cosine, 0.0
+            )
+            assert candidate.score == pytest.approx(expected)
+
+    def test_ranking_invariant_across_shard_counts(self, profiles):
+        vectors = embed_columns(profiles)
+        rankings = []
+        for num_shards in (1, 2, 3):
+            config = SudowoodoConfig(num_shards=num_shards)
+            candidates = rank_join_candidates(
+                profiles, vectors, config=config, k=6
+            )
+            rankings.append(
+                [(c.pair, round(c.score, 12)) for c in candidates]
+            )
+        assert rankings[0] == rankings[1] == rankings[2]
+
+    def test_num_shards_argument_overrides_config(self, profiles):
+        vectors = embed_columns(profiles)
+        base = rank_join_candidates(profiles, vectors, k=6)
+        for num_shards in (2, 3):
+            override = rank_join_candidates(
+                profiles, vectors, k=6, num_shards=num_shards
+            )
+            assert [c.pair for c in override] == [c.pair for c in base]
+
+    def test_group_by_table_preserves_rank_order(self, profiles):
+        vectors = embed_columns(profiles)
+        candidates = rank_join_candidates(profiles, vectors, k=6)
+        grouped = group_by_table(candidates)
+        order = {id(c): rank for rank, c in enumerate(candidates)}
+        for table, members in grouped.items():
+            assert all(
+                table in (c.table_a, c.table_b) for c in members
+            )
+            ranks = [order[id(c)] for c in members]
+            assert ranks == sorted(ranks)
+
+    def test_mismatched_inputs_raise(self, profiles):
+        with pytest.raises(ValueError, match="profiles"):
+            rank_join_candidates(profiles, np.zeros((1, 4)))
+        with pytest.raises(ValueError, match="alpha"):
+            rank_join_candidates(
+                profiles, embed_columns(profiles), alpha=1.5
+            )
+
+    def test_fewer_than_two_columns_yields_nothing(self, profiles):
+        vectors = embed_columns(profiles)
+        assert rank_join_candidates(profiles[:1], vectors[:1]) == []
+        assert rank_join_candidates([], vectors[:0]) == []

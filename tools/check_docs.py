@@ -6,10 +6,11 @@ Two checks:
 * every relative markdown link in README.md and docs/ resolves to an
   existing file or directory (external http/https/mailto links are not
   fetched);
-* every public symbol in ``repro.api.__all__`` and ``repro.train.__all__``
-  — the recommended API surfaces — carries a docstring (the session API
-  and the training engine are documentation-first; an undocumented export
-  is a lint failure, not a style nit).
+* every public symbol in ``repro.api.__all__``, ``repro.train.__all__``,
+  and ``repro.discovery.__all__`` — the recommended API surfaces —
+  carries a docstring (the session API, the training engine, and the
+  discovery tier are documentation-first; an undocumented export is a
+  lint failure, not a style nit).
 
 Exit code 0 when both checks pass, 1 otherwise (failures listed on
 stderr).
@@ -55,8 +56,9 @@ def check_file(markdown: Path, root: Path) -> list:
 
 
 #: Packages whose ``__all__`` must be fully documented — the recommended
-#: API surfaces (the session API and the shared training engine).
-DOCUMENTED_PACKAGES = ("repro.api", "repro.train")
+#: API surfaces (the session API, the shared training engine, and the
+#: discovery tier).
+DOCUMENTED_PACKAGES = ("repro.api", "repro.train", "repro.discovery")
 
 
 def check_api_docstrings(root: Path) -> list:
