@@ -146,6 +146,14 @@ class SudowoodoConfig:
     default_deadline_ms: Optional[float] = None
     priority_levels: int = 1
 
+    # --------------------------------------------------------- discovery
+    # Lake-scale discovery (discovery.lake): where the persistent profile
+    # cache lives (None = the lake task keeps a private temporary store),
+    # and how many columns each backend-query / scoring batch holds —
+    # the O(batch) knob of the bounded-memory candidate scorer.
+    profile_cache_dir: Optional[str] = None
+    discovery_batch_size: int = 256
+
     # ----------------------------------------------------- training engine
     # Knobs of the shared step-loop runtime (repro.train.Trainer), used by
     # every training path: contrastive pre-training, MLM warm start, and
@@ -208,6 +216,11 @@ class SudowoodoConfig:
         return ServeConfig(**self._section_values("serve"))
 
     @property
+    def discovery(self) -> "DiscoveryConfig":
+        """The lake-scale discovery section as a :class:`DiscoveryConfig`."""
+        return DiscoveryConfig(**self._section_values("discovery"))
+
+    @property
     def train(self) -> TrainConfig:
         """The training-engine section as a
         :class:`~repro.train.engine.TrainConfig` (the object the shared
@@ -230,6 +243,7 @@ class SudowoodoConfig:
         finetune: Optional["FinetuneConfig"] = None,
         pseudo: Optional["PseudoLabelConfig"] = None,
         serve: Optional["ServeConfig"] = None,
+        discovery: Optional["DiscoveryConfig"] = None,
         train: Optional[TrainConfig] = None,
         run: Optional["RunConfig"] = None,
         **overrides: Any,
@@ -240,7 +254,7 @@ class SudowoodoConfig:
         applied last and win over section values.
         """
         values: Dict[str, Any] = {}
-        for part in (model, pretrain, finetune, pseudo, serve, train, run):
+        for part in (model, pretrain, finetune, pseudo, serve, discovery, train, run):
             if part is not None:
                 values.update(
                     {f.name: getattr(part, f.name) for f in fields(part)}
@@ -390,6 +404,8 @@ class SudowoodoConfig:
             raise ValueError("default_deadline_ms must be positive or None")
         if self.priority_levels < 1:
             raise ValueError("priority_levels must be >= 1")
+        if self.discovery_batch_size < 1:
+            raise ValueError("discovery_batch_size must be >= 1")
         # Training-engine knobs share TrainConfig's own validation.
         self.train.validate()
 
@@ -487,6 +503,15 @@ class ServeConfig:
 
 
 @dataclass
+class DiscoveryConfig:
+    """Lake-scale discovery: profile-cache location and the candidate
+    batch size of the bounded-memory scorer."""
+
+    profile_cache_dir: Optional[str] = None
+    discovery_batch_size: int = 256
+
+
+@dataclass
 class RunConfig:
     """Cross-cutting run parameters: root seed and default blocking k."""
 
@@ -502,6 +527,7 @@ CONFIG_SECTIONS: Dict[str, Tuple[str, ...]] = {
     "finetune": tuple(f.name for f in fields(FinetuneConfig)),
     "pseudo": tuple(f.name for f in fields(PseudoLabelConfig)),
     "serve": tuple(f.name for f in fields(ServeConfig)),
+    "discovery": tuple(f.name for f in fields(DiscoveryConfig)),
     "train": tuple(f.name for f in fields(TrainConfig)),
     "run": tuple(f.name for f in fields(RunConfig)),
 }
@@ -578,6 +604,16 @@ TASK_CONFIG_DEFAULTS: Dict[str, Dict[str, Any]] = {
     # regime as the column tasks); dedupe is a self-join of the EM
     # pipeline; streaming ER replays a feed through the serving stack.
     "join_discovery": dict(
+        da_operator="cell_shuffle",
+        cutoff_kind="span",
+        use_pseudo_labeling=False,
+        max_seq_len=40,
+        pair_max_seq_len=72,
+    ),
+    # Lake discovery embeds serialized columns exactly like join
+    # discovery; the backend stays config-selected (exact by default,
+    # "ivfpq" for real lakes) because scoring is exact either way.
+    "lake_discovery": dict(
         da_operator="cell_shuffle",
         cutoff_kind="span",
         use_pseudo_labeling=False,

@@ -31,6 +31,8 @@ from .discovery import (
     JoinableTables,
     generate_dirty_duplicates,
     generate_joinable_tables,
+    generate_lake,
+    mutate_lake,
 )
 from .engine import (
     DomainSpec,
@@ -66,8 +68,10 @@ __all__ = [
     "generate_column_corpus",
     "generate_dirty_duplicates",
     "generate_joinable_tables",
+    "generate_lake",
     "generate_two_table_dataset",
     "jitter_price",
     "load_cleaning_dataset",
     "load_em_benchmark",
+    "mutate_lake",
 ]

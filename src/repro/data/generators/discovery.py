@@ -307,3 +307,129 @@ def generate_dirty_duplicates(
         clusters=[sorted(c) for c in clusters],
         canonical=canonical,
     )
+
+
+# ----------------------------------------------------------------------
+# Lake-scale workloads
+# ----------------------------------------------------------------------
+def generate_lake(
+    num_tables: int = 1000,
+    rows: int = 20,
+    tables_per_pod: int = 4,
+    num_domains: int = 3,
+    noise_columns: int = 2,
+    pool_size: int = 40,
+    overlap: float = 0.8,
+    seed: int = 0,
+) -> JoinableTables:
+    """A lake of ``num_tables`` tables built from joinable-table *pods*.
+
+    :func:`generate_joinable_tables` plants joins within one small group;
+    a real lake is many such groups side by side.  The lake is stitched
+    from independent pods of ``tables_per_pod`` tables (each its own
+    seeded :func:`generate_joinable_tables` scenario, renamed under a
+    ``pod####_`` prefix), so joinability stays *local* — cross-pod pairs
+    share nothing — which is exactly the sparse structure that makes
+    lake-scale candidate generation non-trivial.  Ground truth is the
+    union of the pods' joinable sets.  Deterministic for a given seed.
+    """
+    if num_tables < 2:
+        raise ValueError("need at least 2 tables for a lake")
+    if tables_per_pod < 2:
+        raise ValueError("tables_per_pod must be >= 2")
+    sizes: List[int] = []
+    remaining = num_tables
+    while remaining > 0:
+        size = min(tables_per_pod, remaining)
+        if remaining - size == 1:
+            size += 1  # a 1-table pod could plant no joins
+        sizes.append(size)
+        remaining -= size
+    tables: Dict[str, Table] = {}
+    joinable: Set[Tuple[ColumnRef, ColumnRef]] = set()
+    for pod_index, size in enumerate(sizes):
+        pod = generate_joinable_tables(
+            num_tables=size,
+            rows=rows,
+            num_domains=num_domains,
+            noise_columns=noise_columns,
+            pool_size=pool_size,
+            overlap=overlap,
+            seed=seed + pod_index,
+        )
+        prefix = f"pod{pod_index:04d}_"
+        for name, table in pod.tables.items():
+            renamed = Table(name=prefix + name, schema=list(table.schema))
+            for row in range(len(table)):
+                record = table[row]
+                renamed.append(
+                    {attribute: record.get(attribute) for attribute in table.schema}
+                )
+            tables[prefix + name] = renamed
+        for (table_a, column_a), (table_b, column_b) in pod.joinable:
+            joinable.add(
+                tuple(
+                    sorted(
+                        (
+                            (prefix + table_a, column_a),
+                            (prefix + table_b, column_b),
+                        )
+                    )
+                )
+            )
+    return JoinableTables(tables=tables, joinable=joinable)
+
+
+def mutate_lake(
+    tables: Dict[str, Table],
+    fraction: float = 0.05,
+    rows_added: int = 2,
+    hardness: float = 0.4,
+    seed: int = 0,
+) -> Tuple[Dict[str, Table], List[str]]:
+    """A nightly-sync mutation of a lake: append dirty rows to a few tables.
+
+    Picks ``fraction`` of the tables (at least one) and appends
+    ``rows_added`` corrupted copies of one of their rows (every cell
+    noised via :func:`~repro.data.generators.engine.corrupt_text` at
+    ``hardness``), returning ``(new_tables, mutated_names)``.  Untouched
+    tables are **the same objects** — only mutated tables are copied —
+    and the dict preserves the original iteration order, so incremental
+    re-profiling sees identical inputs for every unchanged column.
+    Deterministic for a given seed.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if rows_added < 1:
+        raise ValueError("rows_added must be >= 1")
+    if not tables:
+        return {}, []
+    rng = np.random.default_rng(seed)
+    names = sorted(tables)
+    count = max(1, int(round(fraction * len(names))))
+    chosen = sorted(rng.choice(len(names), size=count, replace=False).tolist())
+    mutated = [names[i] for i in chosen]
+    out = dict(tables)
+    for name in mutated:
+        source = tables[name]
+        copy = Table(name=name, schema=list(source.schema))
+        for row in range(len(source)):
+            record = source[row]
+            copy.append(
+                {attribute: record.get(attribute) for attribute in source.schema}
+            )
+        if len(source):
+            template = source[int(rng.integers(0, len(source)))]
+            for _ in range(rows_added):
+                copy.append(
+                    {
+                        attribute: (
+                            corrupt_text(template.get(attribute), rng, hardness)
+                            if template.get(attribute)
+                            else ""
+                        )
+                        for attribute in source.schema
+                    }
+                )
+        out[name] = copy
+    return out, mutated

@@ -7,10 +7,14 @@ table into canonical records via self-join entity matching plus
 conflict-resolution merging (:mod:`~repro.discovery.dedupe`), and
 **stress** the result under a live upsert/delete/search feed with
 first-class staleness metrics (:mod:`~repro.discovery.streaming`).
+:mod:`~repro.discovery.lake` scales the join tier to thousands of
+tables: a persistent fingerprint-keyed profile cache with memmapped
+column vectors, delta-maintained ANN indexing, and the bounded-memory
+batch scorer.
 
-Importing the package registers three session tasks —
-``join_discovery``, ``dedupe``, and ``streaming_er`` — next to the
-paper's original five:
+Importing the package registers the session tasks —
+``join_discovery``, ``lake_discovery``, ``dedupe``, and
+``streaming_er`` — next to the paper's original five:
 
 >>> session.task("join_discovery").fit(tables)       # doctest: +SKIP
 >>> session.task("dedupe").fit(dirty).report()       # doctest: +SKIP
@@ -19,8 +23,10 @@ paper's original five:
 
 from .dedupe import (
     MERGE_POLICIES,
+    DisjointSet,
     cluster_pairs,
     duplicate_clusters,
+    iter_duplicate_clusters,
     merge_records,
     pairwise_metrics,
     self_match_dataset,
@@ -30,25 +36,52 @@ from .join import (
     group_by_table,
     profile_tables,
     rank_join_candidates,
+    score_candidate_batches,
 )
-from .streaming import FeedEvent, make_feed, run_streaming_er
-from .tasks import DedupeTask, JoinDiscoveryTask, StreamingERTask
+from .lake import (
+    LakeIndex,
+    LakeProfile,
+    ProfileStore,
+    column_fingerprint,
+    hashed_embedder,
+    profile_lake,
+    rank_lake_candidates,
+)
+from .streaming import FeedEvent, iter_match_edges, make_feed, run_streaming_er
+from .tasks import (
+    DedupeTask,
+    JoinDiscoveryTask,
+    LakeDiscoveryTask,
+    StreamingERTask,
+)
 
 __all__ = [
     "ColumnProfile",
     "DedupeTask",
+    "DisjointSet",
     "FeedEvent",
     "JoinDiscoveryTask",
+    "LakeDiscoveryTask",
+    "LakeIndex",
+    "LakeProfile",
     "MERGE_POLICIES",
+    "ProfileStore",
     "StreamingERTask",
     "cluster_pairs",
+    "column_fingerprint",
     "duplicate_clusters",
     "group_by_table",
+    "hashed_embedder",
+    "iter_duplicate_clusters",
+    "iter_match_edges",
     "make_feed",
     "merge_records",
     "pairwise_metrics",
+    "profile_lake",
     "profile_tables",
     "rank_join_candidates",
+    "rank_lake_candidates",
     "run_streaming_er",
+    "score_candidate_batches",
     "self_match_dataset",
 ]

@@ -5,13 +5,22 @@ Deduplication is entity matching where both sides are the same table: a
 matching engine (blocking + pseudo-labels + fine-tuned matcher) score
 record pairs, and everything after the matcher is plain graph work:
 
-    match probabilities -> edges -> connected components (networkx)
-    -> one canonical record per component (conflict-resolution policy)
+    match probabilities -> edges -> connected components -> one
+    canonical record per component (conflict-resolution policy)
 
 The helpers here own the non-matcher half.  They are deterministic by
 construction — sorted components, sorted clusters, deterministic
 tie-breaks inside every merge policy — so dedupe results are
 reproducible across runs and platforms.
+
+Lake-scale mechanics (PR 10): components come from an incremental
+:class:`DisjointSet` (union-find with path compression + union by size,
+two flat int64 arrays) that consumes match edges *as the matcher emits
+them*, and :func:`iter_duplicate_clusters` streams merged canonical
+records cluster-by-cluster — dedupe never materializes a networkx match
+graph.  :func:`duplicate_clusters` stays as a thin wrapper with its
+exact historical output; the old networkx path survives only as the
+``_networkx_clusters`` regression oracle.
 """
 
 from __future__ import annotations
@@ -22,14 +31,15 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
-import networkx as nx
 import numpy as np
 
 from ..data.records import LabeledPair, PairSplit, Record, Table
@@ -100,6 +110,115 @@ def self_match_dataset(
     )
 
 
+class DisjointSet:
+    """Incremental union-find over ``range(num_records)``.
+
+    Path compression (halving) plus union by size give effectively-
+    constant amortized unions, and the whole structure is two flat int64
+    arrays — O(n) memory regardless of how many match edges stream
+    through, which is what lets dedupe consume edges as the matcher
+    emits them instead of buffering a match graph.
+    """
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self, num_records: int) -> None:
+        if num_records < 0:
+            raise ValueError("num_records must be non-negative")
+        self._parent = np.arange(num_records, dtype=np.int64)
+        self._size = np.ones(num_records, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self._parent.size)
+
+    def find(self, node: int) -> int:
+        """Root of ``node``'s component, compressing the path walked."""
+        parent = self._parent
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]  # path halving
+            node = int(parent[node])
+        return node
+
+    def union(self, a: int, b: int) -> bool:
+        """Join the components of ``a`` and ``b``; True if they were
+        separate (an actual merge happened)."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Consume a stream of match edges; self-loops and out-of-range
+        endpoints are ignored (matcher output can reference dropped
+        rows).  Returns the number of merges performed."""
+        n = len(self)
+        merges = 0
+        for a, b in edges:
+            if a == b:
+                continue
+            if 0 <= a < n and 0 <= b < n:
+                if self.union(int(a), int(b)):
+                    merges += 1
+        return merges
+
+    def iter_clusters(self) -> Iterator[List[int]]:
+        """Yield each component as an ascending member list, ordered by
+        smallest member — the canonical partition order."""
+        by_root: Dict[int, List[int]] = {}
+        for node in range(len(self)):
+            by_root.setdefault(self.find(node), []).append(node)
+        # Scanning 0..n-1 makes every member list ascending and keys
+        # first-member ordered (dicts preserve insertion order).
+        yield from by_root.values()
+
+
+def iter_duplicate_clusters(
+    num_records: int,
+    edges: Iterable[Tuple[int, int]],
+    records: Optional[Sequence[Record]] = None,
+    policy: str = "longest",
+    timestamp_attribute: str = "updated",
+    schema: Optional[Sequence[str]] = None,
+) -> Iterator[Union[List[int], Tuple[List[int], Record]]]:
+    """Stream duplicate clusters (and optionally canonical records).
+
+    Edges are folded into a :class:`DisjointSet` as they arrive — a
+    generator of matcher emissions works and is never materialized —
+    then components stream out one at a time.  Without ``records`` each
+    yield is a sorted member list; with ``records`` (one per record id)
+    each yield is ``(members, canonical)`` where ``canonical`` is the
+    cluster merged by :func:`merge_records` under ``policy``, so callers
+    can consolidate a table while holding one cluster at a time.
+
+    The concatenated member lists are exactly the
+    :func:`duplicate_clusters` partition.
+    """
+    if records is not None and len(records) != num_records:
+        raise ValueError(
+            f"{num_records} records declared but {len(records)} provided"
+        )
+    components = DisjointSet(num_records)
+    components.add_edges(edges)
+    for position, members in enumerate(components.iter_clusters()):
+        if records is None:
+            yield members
+        else:
+            yield members, merge_records(
+                [records[member] for member in members],
+                policy=policy,
+                timestamp_attribute=timestamp_attribute,
+                record_id=position,
+                schema=schema,
+            )
+
+
 def duplicate_clusters(
     num_records: int, edges: Iterable[Tuple[int, int]]
 ) -> List[List[int]]:
@@ -108,8 +227,20 @@ def duplicate_clusters(
     Every record appears exactly once — unmatched records come back as
     singleton clusters — and clusters are sorted internally and by their
     first member, so the output is a deterministic partition of
-    ``range(num_records)``.
+    ``range(num_records)``.  Thin wrapper over
+    :func:`iter_duplicate_clusters`.
     """
+    return list(iter_duplicate_clusters(num_records, edges))
+
+
+def _networkx_clusters(
+    num_records: int, edges: Iterable[Tuple[int, int]]
+) -> List[List[int]]:
+    """The pre-union-find implementation, kept as a regression oracle:
+    tests and the lake benchmark pin the streaming partition equal to
+    the networkx connected-components partition."""
+    import networkx as nx
+
     graph = nx.Graph()
     graph.add_nodes_from(range(num_records))
     for a, b in normalize_pairs(edges):
@@ -234,11 +365,17 @@ def pairwise_metrics(
 
 
 def cluster_pairs(clusters: Sequence[Sequence[int]]) -> Set[RecordPair]:
-    """Transitive closure: every unordered pair co-clustered anywhere."""
+    """Transitive closure: every unordered pair co-clustered anywhere.
+
+    Pairs are enumerated with one ``triu_indices`` per cluster instead
+    of a nested Python loop — O(cluster^2) work runs in numpy, and the
+    output stays the historical set of ``(min, max)`` int tuples.
+    """
     pairs: Set[RecordPair] = set()
     for cluster in clusters:
-        members = sorted(cluster)
-        for i, a in enumerate(members):
-            for b in members[i + 1 :]:
-                pairs.add((a, b))
+        members = np.sort(np.asarray(cluster, dtype=np.int64))
+        if members.size < 2:
+            continue
+        rows, cols = np.triu_indices(members.size, k=1)
+        pairs.update(zip(members[rows].tolist(), members[cols].tolist()))
     return pairs

@@ -21,23 +21,41 @@ backend-reported distances), and ties break on the sorted column refs —
 which is why the ranking is invariant to ``num_shards`` for the exact
 backend (the sharded top-k provably equals the single-shard top-k, see
 ``repro.serve.sharding``) and fully deterministic everywhere else.
+
+Lake-scale mechanics (PR 10): the normalized column matrix is held in
+``config.store_dtype`` (not forced float64), backend queries and scoring
+run over **streamed batches** of ``config.discovery_batch_size`` columns
+(upcast to float64 per batch), containments come from the batched
+:meth:`~repro.serve.sketch.ContainmentSketch.intersection_many` kernel,
+and with ``top`` set a bounded heap keeps peak memory at O(top + batch)
+instead of O(all candidate pairs).  The batched scorer is byte-identical
+to the preserved per-pair scorer (``scorer="pairwise"``) — the
+determinism/shard-invariance contract above is the regression oracle,
+and ``benchmarks/bench_lake_scale_discovery.py`` asserts the parity.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..api.results import JoinCandidate
 from ..core.config import SudowoodoConfig
 from ..data.records import Table, serialize_column
-from ..serve.backends import build_backend
+from ..serve.backends import ANNBackend, build_backend
 from ..serve.sketch import ContainmentSketch
 
 #: A column reference: (table name, column name).
 ColumnRef = Tuple[str, str]
+
+#: Scorer implementations accepted by :func:`rank_join_candidates` /
+#: :func:`score_candidate_batches`.  ``"batched"`` is the production
+#: path; ``"pairwise"`` is the legacy per-pair loop kept as the
+#: byte-identity regression oracle.
+SCORERS: Tuple[str, ...] = ("batched", "pairwise")
 
 
 @dataclass(frozen=True)
@@ -83,9 +101,285 @@ def profile_tables(
     return profiles
 
 
-def _normalize_rows(vectors: np.ndarray) -> np.ndarray:
+def _normalize_rows(
+    vectors: np.ndarray, dtype: np.dtype = np.dtype(np.float64)
+) -> np.ndarray:
+    """Unit-normalize rows (in float64 for stable norms), stored as
+    ``dtype`` — the configured ``store_dtype``, so the full column matrix
+    is never forced into a float64 copy."""
+    vectors = np.asarray(vectors, dtype=np.float64)
     norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-    return vectors / np.maximum(norms, 1e-12)
+    normalized = vectors / np.maximum(norms, 1e-12)
+    return normalized.astype(dtype, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Candidate scoring (shared by the table path and the lake path)
+# ----------------------------------------------------------------------
+class _HeapEntry:
+    """Heap node ordered so the *worst* candidate is the heap minimum:
+    lower score is worse; on score ties the larger pair is worse (the
+    final ranking sorts by descending score, ascending pair)."""
+
+    __slots__ = ("score", "pair", "candidate")
+
+    def __init__(
+        self,
+        score: float,
+        pair: Tuple[ColumnRef, ColumnRef],
+        candidate: JoinCandidate,
+    ) -> None:
+        self.score = score
+        self.pair = pair
+        self.candidate = candidate
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return (self.score, other.pair) < (other.score, self.pair)
+
+
+class _CandidateCollector:
+    """Accumulates scored candidates with cross-batch dedup.
+
+    With ``top`` set, a bounded min-heap of the ``top`` best candidates
+    keeps peak memory at O(top) no matter how many candidate pairs
+    stream through; without it every surviving candidate is kept (the
+    caller asked for the full ranking).  A pair proposed by both of its
+    endpoints' neighbour lists scores identically, so the second
+    occurrence is dropped.
+    """
+
+    def __init__(self, top: Optional[int]) -> None:
+        if top is not None and top < 1:
+            raise ValueError("top must be positive or None")
+        self.top = top
+        self._heap: List[_HeapEntry] = []
+        self._in_heap: Dict[Tuple[ColumnRef, ColumnRef], None] = {}
+        self._all: Dict[Tuple[ColumnRef, ColumnRef], JoinCandidate] = {}
+
+    def offer(self, candidate: JoinCandidate) -> None:
+        pair = candidate.pair
+        if self.top is None:
+            self._all.setdefault(pair, candidate)
+            return
+        if pair in self._in_heap:
+            return
+        entry = _HeapEntry(candidate.score, pair, candidate)
+        if len(self._heap) < self.top:
+            heapq.heappush(self._heap, entry)
+            self._in_heap[pair] = None
+        elif self._heap[0] < entry:
+            evicted = heapq.heappushpop(self._heap, entry)
+            del self._in_heap[evicted.pair]
+            self._in_heap[pair] = None
+
+    def ranked(self) -> List[JoinCandidate]:
+        if self.top is None:
+            candidates = list(self._all.values())
+        else:
+            candidates = [entry.candidate for entry in self._heap]
+        candidates.sort(key=lambda c: (-c.score, c.pair))
+        return candidates
+
+
+def _make_candidate(
+    profiles: Sequence[ColumnProfile],
+    i: int,
+    j: int,
+    score: float,
+    containment: float,
+    cosine: float,
+) -> JoinCandidate:
+    first, second = sorted((profiles[i].ref, profiles[j].ref))
+    return JoinCandidate(
+        table_a=first[0],
+        column_a=first[1],
+        table_b=second[0],
+        column_b=second[1],
+        score=score,
+        containment=containment,
+        cosine=cosine,
+    )
+
+
+def _batch_containments(
+    profiles: Sequence[ColumnProfile], left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Symmetric containment ``max(|A∩B|/|A|, |A∩B|/|B|)`` for a batch of
+    pairs, grouped by left profile so each group runs ONE
+    ``intersection_many`` call instead of two ``containment`` calls per
+    pair.  The intersection estimate is symmetric, so both directions
+    come from the single batched pass — bit-identical to the scalar
+    two-call form."""
+    out = np.zeros(left.size, dtype=np.float64)
+    order = np.argsort(left, kind="stable")
+    sorted_left = left[order]
+    start = 0
+    while start < sorted_left.size:
+        stop = start
+        while stop < sorted_left.size and sorted_left[stop] == sorted_left[start]:
+            stop += 1
+        rows = order[start:stop]
+        anchor = profiles[int(sorted_left[start])].sketch
+        others = [profiles[int(j)].sketch for j in right[rows]]
+        intersections = anchor.intersection_many(others)
+        card_a = anchor.cardinality()
+        card_b = np.asarray([sketch.cardinality() for sketch in others])
+        forward = (
+            np.minimum(1.0, intersections / card_a)
+            if card_a > 0
+            else np.zeros(intersections.size)
+        )
+        safe_b = np.where(card_b > 0, card_b, 1.0)
+        backward = np.where(
+            card_b > 0, np.minimum(1.0, intersections / safe_b), 0.0
+        )
+        out[rows] = np.maximum(forward, backward)
+        start = stop
+    return out
+
+
+def _score_batched(
+    profiles: Sequence[ColumnProfile],
+    normalized: np.ndarray,
+    pairs: np.ndarray,
+    alpha: float,
+    min_score: float,
+    collector: _CandidateCollector,
+) -> None:
+    """Score a ``(B, 2)`` batch of candidate index pairs in one shot:
+    a single float64 einsum for every cosine, one grouped containment
+    pass, then elementwise blending."""
+    left, right = pairs[:, 0], pairs[:, 1]
+    left_rows = normalized[left].astype(np.float64, copy=False)
+    right_rows = normalized[right].astype(np.float64, copy=False)
+    cosines = np.einsum("ij,ij->i", left_rows, right_rows)
+    containments = _batch_containments(profiles, left, right)
+    scores = alpha * containments + (1.0 - alpha) * np.maximum(cosines, 0.0)
+    for position in range(pairs.shape[0]):
+        score = float(scores[position])
+        if score < min_score:
+            continue
+        collector.offer(
+            _make_candidate(
+                profiles,
+                int(left[position]),
+                int(right[position]),
+                score,
+                float(containments[position]),
+                float(cosines[position]),
+            )
+        )
+
+
+def _score_pairwise(
+    profiles: Sequence[ColumnProfile],
+    normalized: np.ndarray,
+    pairs: np.ndarray,
+    alpha: float,
+    min_score: float,
+    collector: _CandidateCollector,
+) -> None:
+    """The legacy per-pair scoring loop (one kernel call per candidate),
+    preserved as the byte-identity oracle for the batched path."""
+    for i, j in pairs.tolist():
+        row_i = normalized[i : i + 1].astype(np.float64, copy=False)
+        row_j = normalized[j : j + 1].astype(np.float64, copy=False)
+        cosine = float(np.einsum("ij,ij->i", row_i, row_j)[0])
+        containment = max(
+            profiles[i].sketch.containment(profiles[j].sketch),
+            profiles[j].sketch.containment(profiles[i].sketch),
+        )
+        score = alpha * containment + (1.0 - alpha) * max(cosine, 0.0)
+        if score < min_score:
+            continue
+        collector.offer(
+            _make_candidate(profiles, i, j, score, containment, cosine)
+        )
+
+
+def score_candidate_batches(
+    profiles: Sequence[ColumnProfile],
+    normalized: np.ndarray,
+    pair_batches: Iterable[np.ndarray],
+    alpha: float = 0.5,
+    min_score: float = 0.0,
+    top: Optional[int] = None,
+    scorer: str = "batched",
+) -> List[JoinCandidate]:
+    """Rank candidate column pairs streamed as ``(B, 2)`` index batches.
+
+    This is the scoring half of :func:`rank_join_candidates`, exposed so
+    the lake path (``repro.discovery.lake``) can feed candidates from a
+    *live* incrementally-maintained index through the identical scorer.
+    Pairs must be canonical ``(min, max)`` rows; duplicates across
+    batches are deduplicated (they score identically).
+    """
+    if scorer not in SCORERS:
+        raise ValueError(
+            f"unknown scorer {scorer!r}; valid options: {', '.join(SCORERS)}"
+        )
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    score_batch = _score_batched if scorer == "batched" else _score_pairwise
+    collector = _CandidateCollector(top)
+    for pairs in pair_batches:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            continue
+        score_batch(profiles, normalized, pairs, alpha, min_score, collector)
+    return collector.ranked()
+
+
+def iter_candidate_pairs(
+    profiles: Sequence[ColumnProfile],
+    normalized: np.ndarray,
+    backend: ANNBackend,
+    k: int,
+    batch_size: int = 256,
+    include_intra_table: bool = False,
+) -> Iterator[np.ndarray]:
+    """Stream canonical candidate index pairs from a built backend.
+
+    Queries run over ``batch_size`` columns at a time (each batch upcast
+    to float64 for the backend), so the neighbour matrix held at any
+    moment is O(batch x k), not O(N x k).  Backend ids must equal
+    profile positions.  Pairs within one batch are deduplicated; a pair
+    surfacing from two different batches is the collector's job.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    n = len(profiles)
+    table_codes = _table_codes(profiles)
+    kq = min(k + 1, n)  # every column's nearest neighbour is itself
+    for start in range(0, n, batch_size):
+        stop = min(start + batch_size, n)
+        block = np.asarray(normalized[start:stop], dtype=np.float64)
+        neighbor_ids, _ = backend.query(block, kq)
+        query_ids = np.repeat(np.arange(start, stop, dtype=np.int64), kq)
+        partner_ids = neighbor_ids.reshape(-1).astype(np.int64)
+        valid = (partner_ids >= 0) & (partner_ids != query_ids)
+        query_ids, partner_ids = query_ids[valid], partner_ids[valid]
+        if not include_intra_table:
+            cross = table_codes[query_ids] != table_codes[partner_ids]
+            query_ids, partner_ids = query_ids[cross], partner_ids[cross]
+        pairs = np.stack(
+            [
+                np.minimum(query_ids, partner_ids),
+                np.maximum(query_ids, partner_ids),
+            ],
+            axis=1,
+        )
+        if pairs.shape[0]:
+            yield np.unique(pairs, axis=0)
+
+
+def _table_codes(profiles: Sequence[ColumnProfile]) -> np.ndarray:
+    """Integer table id per profile (vectorized intra-table filtering)."""
+    codes: Dict[str, int] = {}
+    out = np.empty(len(profiles), dtype=np.int64)
+    for position, profile in enumerate(profiles):
+        out[position] = codes.setdefault(profile.table, len(codes))
+    return out
 
 
 def rank_join_candidates(
@@ -97,6 +391,9 @@ def rank_join_candidates(
     min_score: float = 0.0,
     include_intra_table: bool = False,
     num_shards: Optional[int] = None,
+    top: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    scorer: str = "batched",
 ) -> List[JoinCandidate]:
     """Ranked joinable column pairs over profiled columns.
 
@@ -109,6 +406,14 @@ def rank_join_candidates(
     are dropped; the result is sorted by descending score with ties
     broken on the sorted column refs, so rankings are reproducible and
     (for the exact backend) independent of the shard count.
+
+    The normalized matrix is stored in ``config.store_dtype`` and
+    queried/scored in float64 batches of ``batch_size`` (default
+    ``config.discovery_batch_size``).  ``top`` bounds the result to the
+    best ``top`` candidates through a fixed-size heap — identical to
+    the full ranking truncated, at O(top + batch) peak memory.
+    ``scorer="pairwise"`` runs the legacy per-pair loop, kept as the
+    byte-identity oracle for the batched default.
     """
     if len(profiles) != vectors.shape[0]:
         raise ValueError(
@@ -122,46 +427,26 @@ def rank_join_candidates(
     if len(profiles) < 2:
         return []
 
-    normalized = _normalize_rows(np.asarray(vectors, dtype=np.float64))
+    normalized = _normalize_rows(vectors, dtype=np.dtype(config.store_dtype))
     backend = build_backend(config, sharded=True)
     backend.build(normalized)
-    # k + 1 because every column's nearest neighbour is itself.
-    neighbor_ids, _ = backend.query(normalized, min(k + 1, len(profiles)))
-
-    candidate_pairs: Set[Tuple[int, int]] = set()
-    for i, row in enumerate(neighbor_ids):
-        for j in row:
-            j = int(j)
-            if j < 0 or j == i:
-                continue
-            if not include_intra_table and profiles[i].table == profiles[j].table:
-                continue
-            candidate_pairs.add((min(i, j), max(i, j)))
-
-    candidates: List[JoinCandidate] = []
-    for i, j in candidate_pairs:
-        cosine = float(np.dot(normalized[i], normalized[j]))
-        containment = max(
-            profiles[i].sketch.containment(profiles[j].sketch),
-            profiles[j].sketch.containment(profiles[i].sketch),
-        )
-        score = alpha * containment + (1.0 - alpha) * max(cosine, 0.0)
-        if score < min_score:
-            continue
-        first, second = sorted((profiles[i].ref, profiles[j].ref))
-        candidates.append(
-            JoinCandidate(
-                table_a=first[0],
-                column_a=first[1],
-                table_b=second[0],
-                column_b=second[1],
-                score=score,
-                containment=containment,
-                cosine=cosine,
-            )
-        )
-    candidates.sort(key=lambda c: (-c.score, c.pair))
-    return candidates
+    batches = iter_candidate_pairs(
+        profiles,
+        normalized,
+        backend,
+        k,
+        batch_size=batch_size or config.discovery_batch_size,
+        include_intra_table=include_intra_table,
+    )
+    return score_candidate_batches(
+        profiles,
+        normalized,
+        batches,
+        alpha=alpha,
+        min_score=min_score,
+        top=top,
+        scorer=scorer,
+    )
 
 
 def group_by_table(

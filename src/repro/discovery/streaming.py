@@ -15,14 +15,28 @@ index freshness measured against the feed.  This module supplies it:
   buffering writes into batches of ``flush_every`` — the realistic
   ingest pattern that *creates* staleness — and measuring it with
   :class:`~repro.serve.metrics.StalenessGauge`, alongside sustained
-  QPS and the front end's shed / deadline counters.
+  QPS and the front end's shed / deadline counters;
+* :func:`iter_match_edges` scores candidate record pairs through a
+  matcher lazily, in bounded batches, yielding only the pairs above
+  threshold — the edge stream the streaming dedupe path
+  (:func:`~repro.discovery.dedupe.iter_duplicate_clusters`) consumes
+  without ever materializing a match graph.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -209,3 +223,44 @@ def run_streaming_er(
         "pending_writes": float(gauge.pending),
         "final_index_size": float(target.index_size),
     }
+
+
+def iter_match_edges(
+    pairs: Iterable[Tuple[int, int]],
+    serialize_pair: Callable[[int, int], Tuple[str, str]],
+    predict_proba: Callable[[Sequence[Tuple[str, str]]], Sequence[Sequence[float]]],
+    threshold: float = 0.5,
+    batch_size: int = 64,
+) -> Iterator[Tuple[int, int]]:
+    """Stream match edges out of a matcher, one bounded batch at a time.
+
+    ``pairs`` may be any iterable (including a generator of blocking
+    output) — it is consumed lazily in chunks of ``batch_size``: each
+    chunk is serialized via ``serialize_pair(a, b)``, scored in one
+    ``predict_proba`` call, and the pairs whose match probability
+    (column 1) reaches ``threshold`` are yielded in order.  Peak memory
+    is O(batch_size) regardless of how many candidate pairs blocking
+    proposes, which is what lets
+    :func:`~repro.discovery.dedupe.iter_duplicate_clusters` fold edges
+    into its union-find while the matcher is still scoring.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    chunk: List[Tuple[int, int]] = []
+
+    def score(batch: List[Tuple[int, int]]) -> Iterator[Tuple[int, int]]:
+        texts = [serialize_pair(a, b) for a, b in batch]
+        probabilities = predict_proba(texts)
+        for pair, row in zip(batch, probabilities):
+            if float(row[1]) >= threshold:
+                yield pair
+
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) >= batch_size:
+            yield from score(chunk)
+            chunk = []
+    if chunk:
+        yield from score(chunk)

@@ -1,19 +1,24 @@
-"""Discovery tasks for the session registry: join_discovery, dedupe,
-streaming_er.
+"""Discovery tasks for the session registry: join_discovery,
+lake_discovery, dedupe, streaming_er.
 
-These three tasks turn the session API into an end-to-end integration
-pipeline: *discover* joinable columns across a lake of tables, *dedupe*
-a dirty table into canonical records, and *stress* the consolidated
+These tasks turn the session API into an end-to-end integration
+pipeline: *discover* joinable columns across a lake of tables (at lake
+scale, incrementally against a persistent profile cache), *dedupe* a
+dirty table into canonical records, and *stress* the consolidated
 index under a live upsert/delete/search feed — all against the one
 pre-trained encoder the session already paid for.
 
 >>> session.task("join_discovery").fit(tables).report()     # doctest: +SKIP
+>>> session.task("lake_discovery").fit(lake).report()       # doctest: +SKIP
 >>> session.task("dedupe").fit(dirty).report()              # doctest: +SKIP
 >>> session.task("streaming_er").fit(dirty).predict()       # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import weakref
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..api.registry import register_task
@@ -30,14 +35,20 @@ from ..data.records import Record, Table, serialize_record
 from .dedupe import (
     MERGE_POLICIES,
     cluster_pairs,
-    duplicate_clusters,
-    merge_records,
+    iter_duplicate_clusters,
     normalize_pairs,
     pairwise_metrics,
     self_match_dataset,
 )
 from .join import ColumnProfile, group_by_table, profile_tables, rank_join_candidates
-from .streaming import FeedEvent, make_feed, run_streaming_er
+from .lake import (
+    LakeIndex,
+    LakeProfile,
+    ProfileStore,
+    profile_lake,
+    rank_lake_candidates,
+)
+from .streaming import FeedEvent, iter_match_edges, make_feed, run_streaming_er
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.matcher import PairwiseMatcher
@@ -145,6 +156,147 @@ class JoinDiscoveryTask(SessionTask):
         )
 
 
+@register_task("lake_discovery")
+class LakeDiscoveryTask(SessionTask):
+    """Join discovery at lake scale: incremental profiling against a
+    persistent fingerprint-keyed :class:`~repro.discovery.lake.ProfileStore`
+    (memmapped vectors), a delta-maintained live ANN index, and the
+    bounded-memory batch scorer.  Re-fitting the *same task instance*
+    after tables mutate only recomputes and re-indexes the changed
+    columns — the whole point of the lake path."""
+
+    def __init__(self, session: Any) -> None:
+        super().__init__(session)
+        self._tables: Dict[str, Table] = {}
+        self._truth: Optional[set] = None
+        self._store: Optional[ProfileStore] = None
+        self._index: Optional[LakeIndex] = None
+        self._lake: Optional[LakeProfile] = None
+        self._candidates: List[JoinCandidate] = []
+        self._stats: Dict[str, float] = {}
+
+    def _ensure_store(self) -> ProfileStore:
+        if self._store is None:
+            cache_dir = self.session.config.profile_cache_dir
+            if cache_dir is None:
+                # Private per-task store: incremental across re-fits of
+                # this instance, discarded with it.
+                cache_dir = tempfile.mkdtemp(prefix="sudowoodo-lake-")
+                weakref.finalize(
+                    self, shutil.rmtree, cache_dir, ignore_errors=True
+                )
+            self._store = ProfileStore(
+                cache_dir, store_dtype=self.session.config.store_dtype
+            )
+        return self._store
+
+    def fit(
+        self,
+        data: Union[JoinableTables, Dict[str, Table]],
+        k: int = 10,
+        alpha: float = 0.5,
+        max_values: int = 12,
+        sketch_k: int = 256,
+        min_score: float = 0.0,
+        top: Optional[int] = None,
+        store: Optional[ProfileStore] = None,
+        scorer: str = "batched",
+    ) -> "LakeDiscoveryTask":
+        """Profile incrementally, sync the live index, and rank.
+
+        ``data`` is a :class:`~repro.data.generators.discovery.JoinableTables`
+        (e.g. from ``generate_lake``; its truth powers :meth:`evaluate`)
+        or a plain ``{name: Table}`` dict.  An explicit ``store``
+        overrides the config's ``profile_cache_dir`` (and the private
+        temporary store used when neither is set).  ``top`` bounds the
+        ranking through the fixed-size heap.
+        """
+        if isinstance(data, JoinableTables):
+            self._tables = dict(data.tables)
+            self._truth = {tuple(pair) for pair in data.joinable}
+        else:
+            self._tables = dict(data)
+            self._truth = None
+        if store is not None:
+            self._store = store
+            self._tempdir = None
+        config = self.session.config
+        self._lake = profile_lake(
+            self._tables,
+            self._ensure_store(),
+            lambda texts: self.session.embed(texts, normalize=True),
+            max_values=max_values,
+            sketch_k=sketch_k,
+            batch_size=config.discovery_batch_size,
+        )
+        if self._index is None:
+            self._index = LakeIndex(config)
+        delta = self._index.update(self._lake)
+        self._candidates = rank_lake_candidates(
+            self._lake,
+            self._index,
+            config=config,
+            k=k,
+            alpha=alpha,
+            min_score=min_score,
+            top=top,
+            scorer=scorer,
+        )
+        self._stats = {
+            "profiles_reused": float(self._lake.reused),
+            "profiles_computed": float(self._lake.computed),
+            **{f"index_{name}": float(count) for name, count in delta.items()},
+        }
+        self.fitted = True
+        return self
+
+    def predict(
+        self, top: Optional[int] = None, table: Optional[str] = None
+    ) -> List[JoinCandidate]:
+        """The ranked candidates — optionally only those touching
+        ``table``, optionally truncated to the ``top`` best."""
+        self._require_fitted("predict()")
+        candidates = self._candidates
+        if table is not None:
+            candidates = group_by_table(candidates).get(table, [])
+        return candidates[:top] if top is not None else list(candidates)
+
+    def evaluate(self, at: Optional[int] = None, **_: Any) -> Dict[str, float]:
+        """Ranking recall / precision against the generator truth (when
+        available) plus the incremental accounting: how many profiles
+        came from cache and what delta the index absorbed."""
+        self._require_fitted("evaluate()")
+        metrics = dict(self._stats)
+        metrics["num_candidates"] = float(len(self._candidates))
+        if self._truth:
+            n = at if at is not None else len(self._truth)
+            top = {candidate.pair for candidate in self._candidates[:n]}
+            hits = len(top & self._truth)
+            metrics["recall_at"] = hits / len(self._truth)
+            metrics["precision_at"] = hits / n if n else 0.0
+        return metrics
+
+    def corpus_texts(self) -> List[str]:
+        """The serialized columns — served as a live column index."""
+        if self._lake is None:
+            return []
+        return [profile.text for profile in self._lake.profiles]
+
+    def report(self) -> JoinDiscoveryResult:
+        """Ranked candidates plus the per-table grouping."""
+        self._require_fitted("report()")
+        assert self._lake is not None
+        return JoinDiscoveryResult(
+            task=self.name,
+            metrics=self.evaluate(),
+            timings=self.session.timer.summary(),
+            num_tables=len(self._tables),
+            num_columns=len(self._lake.profiles),
+            candidates=list(self._candidates),
+            by_table=group_by_table(self._candidates),
+        )
+
+
 @register_task("dedupe")
 class DedupeTask(SessionTask):
     """Dedupe-and-merge over one dirty table: self-join EM matching
@@ -215,32 +367,33 @@ class DedupeTask(SessionTask):
 
         candidates = self._pipeline.block(k)
         # Self-join blocking proposes (i, i) and both orientations; keep
-        # one canonical copy of each genuine pair.
+        # one canonical copy of each genuine pair.  Match edges stream
+        # straight from bounded matcher batches into the union-find, and
+        # clusters stream out already merged — the full candidate-pair
+        # probability matrix and the match graph are never materialized.
         pairs = sorted(normalize_pairs(candidates.pairs))
-        edges: List[tuple] = []
-        if pairs:
-            texts = [
-                (dataset.serialize_a(a), dataset.serialize_b(b)) for a, b in pairs
-            ]
-            probabilities = self._pipeline.matcher.predict_proba(
-                texts, batch_size=self.session.config.serve_batch_size
-            )
-            edges = [
-                pair
-                for pair, row in zip(pairs, probabilities)
-                if float(row[1]) >= threshold
-            ]
-        self._clusters = duplicate_clusters(len(self._table), edges)
-        self._canonical = [
-            merge_records(
-                [self._table[index] for index in cluster],
-                policy=self.policy,
-                timestamp_attribute=self.timestamp_attribute,
-                record_id=position,
-                schema=self._table.schema,
-            )
-            for position, cluster in enumerate(self._clusters)
-        ]
+        batch_size = self.session.config.serve_batch_size
+        edges = iter_match_edges(
+            pairs,
+            lambda a, b: (dataset.serialize_a(a), dataset.serialize_b(b)),
+            lambda texts: self._pipeline.matcher.predict_proba(
+                texts, batch_size=batch_size
+            ),
+            threshold=threshold,
+            batch_size=batch_size,
+        )
+        self._clusters = []
+        self._canonical = []
+        for cluster, canonical in iter_duplicate_clusters(
+            len(self._table),
+            edges,
+            records=self._table,
+            policy=self.policy,
+            timestamp_attribute=self.timestamp_attribute,
+            schema=self._table.schema,
+        ):
+            self._clusters.append(cluster)
+            self._canonical.append(canonical)
         self.fitted = True
         return self
 

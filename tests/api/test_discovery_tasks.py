@@ -1,6 +1,6 @@
-"""Session-API tests for the discovery tasks: join_discovery, dedupe,
-streaming_er — lifecycle, typed unfitted errors, shard invariance, and
-serving exports."""
+"""Session-API tests for the discovery tasks: join_discovery,
+lake_discovery, dedupe, streaming_er — lifecycle, typed unfitted errors,
+shard invariance, incremental re-fits, and serving exports."""
 
 import numpy as np
 import pytest
@@ -18,6 +18,8 @@ from repro.api import (
 from repro.data.generators import (
     generate_dirty_duplicates,
     generate_joinable_tables,
+    generate_lake,
+    mutate_lake,
 )
 from repro.data.records import serialize_record
 from repro.discovery.join import profile_tables
@@ -72,7 +74,12 @@ def session(joinable, dirty):
 class TestRegistrySatellites:
     def test_discovery_tasks_registered(self):
         names = available_tasks()
-        for name in ("join_discovery", "dedupe", "streaming_er"):
+        for name in (
+            "join_discovery",
+            "lake_discovery",
+            "dedupe",
+            "streaming_er",
+        ):
             assert name in names
 
     def test_unknown_task_error_lists_discovery_tasks(self, session):
@@ -95,7 +102,7 @@ class TestRegistrySatellites:
         assert listing["dedupe"] is False
 
     @pytest.mark.parametrize(
-        "name", ["join_discovery", "dedupe", "streaming_er"]
+        "name", ["join_discovery", "lake_discovery", "dedupe", "streaming_er"]
     )
     def test_unfitted_operations_raise_typed_error(self, session, name):
         task = create_task(name, session)
@@ -147,6 +154,66 @@ class TestJoinDiscoveryTask:
     def test_serving_indexes_columns(self, session, fitted):
         service = session.serve(fitted)
         assert service.index_size == len(fitted.corpus_texts())
+
+
+class TestLakeDiscoveryTask:
+    @pytest.fixture(scope="class")
+    def lake(self):
+        return generate_lake(num_tables=6, rows=14, tables_per_pod=3, seed=4)
+
+    def test_cold_fit_profiles_everything(self, session, lake):
+        task = session.task("lake_discovery", fresh=True).fit(lake, k=5)
+        metrics = task.evaluate()
+        num_columns = lake.num_columns
+        assert metrics["profiles_computed"] == num_columns
+        assert metrics["profiles_reused"] == 0.0
+        assert metrics["index_added"] == num_columns
+        assert task.predict(), "expected candidates on a planted lake"
+
+    def test_refit_after_mutation_is_incremental(self, session, lake):
+        task = session.task("lake_discovery", fresh=True).fit(lake, k=5)
+        mutated, names = mutate_lake(lake.tables, fraction=0.4, seed=6)
+        task.fit(mutated, k=5)
+        metrics = task.evaluate()
+        changed = sum(len(mutated[name].schema) for name in names)
+        assert metrics["profiles_computed"] == changed
+        assert metrics["index_updated"] == changed
+        assert metrics["index_added"] == 0.0
+        assert metrics["index_removed"] == 0.0
+        assert (
+            metrics["profiles_reused"]
+            == lake.num_columns - changed
+        )
+
+    def test_matches_join_discovery_ranking(self, session, lake):
+        # Same encoder, same exact backend: the lake path ranks exactly
+        # like the one-shot join_discovery path over the same tables.
+        flat = session.task("join_discovery", fresh=True).fit(lake, k=5)
+        incremental = session.task("lake_discovery", fresh=True).fit(lake, k=5)
+        assert [(c.pair, c.score) for c in incremental.predict()] == [
+            (c.pair, c.score) for c in flat.predict()
+        ]
+
+    def test_report_shape_and_serving(self, session, lake):
+        task = session.task("lake_discovery", fresh=True).fit(lake, k=5)
+        report = task.report()
+        assert isinstance(report, JoinDiscoveryResult)
+        assert report.num_tables == len(lake.tables)
+        assert report.num_columns == lake.num_columns
+        service = session.serve(task)
+        assert service.index_size == len(task.corpus_texts())
+
+    def test_explicit_store_persists_across_task_instances(
+        self, session, lake, tmp_path
+    ):
+        from repro.discovery import ProfileStore
+
+        store = ProfileStore(tmp_path / "cache")
+        session.task("lake_discovery", fresh=True).fit(lake, store=store)
+        warm = session.task("lake_discovery", fresh=True).fit(lake, store=store)
+        metrics = warm.evaluate()
+        assert metrics["profiles_computed"] == 0.0
+        assert metrics["profiles_reused"] == lake.num_columns
 
 
 class TestDedupeTask:

@@ -1,18 +1,23 @@
-"""Dedupe engine tests: match-graph clustering, conflict-resolution
-merge policies, self-join dataset construction, and pairwise metrics."""
+"""Dedupe engine tests: union-find streaming clustering (pinned to the
+networkx partition), conflict-resolution merge policies, self-join
+dataset construction, and pairwise metrics."""
 
+import numpy as np
 import pytest
 
 from repro.data.generators import generate_dirty_duplicates
 from repro.data.records import Record
 from repro.discovery import (
     MERGE_POLICIES,
+    DisjointSet,
     cluster_pairs,
     duplicate_clusters,
+    iter_duplicate_clusters,
     merge_records,
     pairwise_metrics,
     self_match_dataset,
 )
+from repro.discovery.dedupe import _networkx_clusters
 
 
 class TestDuplicateClusters:
@@ -35,6 +40,81 @@ class TestDuplicateClusters:
 
     def test_out_of_range_edges_dropped(self):
         assert duplicate_clusters(3, [(0, 5), (1, 2)]) == [[0], [1, 2]]
+
+
+class TestDisjointSet:
+    def test_union_and_find(self):
+        ds = DisjointSet(5)
+        assert ds.union(0, 1)
+        assert ds.union(1, 2)
+        assert not ds.union(0, 2)  # already connected
+        assert ds.connected(0, 2)
+        assert not ds.connected(0, 3)
+
+    def test_add_edges_counts_merges_and_ignores_junk(self):
+        ds = DisjointSet(4)
+        merges = ds.add_edges([(0, 1), (1, 0), (2, 2), (-1, 3), (3, 9), (1, 2)])
+        assert merges == 2
+        assert list(ds.iter_clusters()) == [[0, 1, 2], [3]]
+
+    def test_empty_structure(self):
+        ds = DisjointSet(0)
+        assert len(ds) == 0
+        assert list(ds.iter_clusters()) == []
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+    def test_partition_matches_networkx_on_random_graphs(self):
+        # The ISSUE's streaming contract: union-find output pinned equal
+        # to the networkx connected-components partition, seeded.
+        rng = np.random.default_rng(42)
+        for _ in range(40):
+            n = int(rng.integers(1, 60))
+            num_edges = int(rng.integers(0, 120))
+            edges = [
+                (int(a), int(b))
+                for a, b in rng.integers(-3, n + 3, size=(num_edges, 2))
+            ]
+            assert duplicate_clusters(n, edges) == _networkx_clusters(n, edges)
+
+
+class TestIterDuplicateClusters:
+    def test_streaming_matches_wrapper(self):
+        edges = [(0, 3), (3, 5), (1, 2)]
+        assert list(iter_duplicate_clusters(7, edges)) == duplicate_clusters(
+            7, edges
+        )
+
+    def test_consumes_edge_generator_lazily(self):
+        seen = []
+
+        def edge_feed():
+            for edge in [(0, 1), (2, 3)]:
+                seen.append(edge)
+                yield edge
+
+        clusters = list(iter_duplicate_clusters(5, edge_feed()))
+        assert clusters == [[0, 1], [2, 3], [4]]
+        assert seen == [(0, 1), (2, 3)]
+
+    def test_yields_merged_canonical_records(self):
+        records = [
+            Record(record_id=0, attributes={"name": "ab"}),
+            Record(record_id=1, attributes={"name": "abcd"}),
+            Record(record_id=2, attributes={"name": "z"}),
+        ]
+        out = list(
+            iter_duplicate_clusters(3, [(0, 1)], records=records, policy="longest")
+        )
+        assert [members for members, _ in out] == [[0, 1], [2]]
+        merged = {tuple(members): rec for members, rec in out}
+        assert merged[(0, 1)].get("name") == "abcd"
+        assert merged[(0, 1)].record_id == 0  # cluster position
+        assert merged[(2,)].get("name") == "z"
+
+    def test_record_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="records"):
+            list(iter_duplicate_clusters(3, [], records=[]))
 
 
 def record(rid, **attrs):
@@ -166,6 +246,27 @@ class TestPairwiseMetrics:
 
     def test_cluster_pairs_is_transitive_closure(self):
         assert cluster_pairs([[0, 1, 2], [3]]) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_cluster_pairs_matches_nested_loop(self):
+        # The vectorized triu implementation against the obvious loops:
+        # plain int tuples, unsorted input handled, seeded random shapes.
+        rng = np.random.default_rng(9)
+        for _ in range(15):
+            clusters = [
+                rng.choice(200, size=rng.integers(1, 12), replace=False).tolist()
+                for _ in range(rng.integers(0, 6))
+            ]
+            expected = set()
+            for cluster in clusters:
+                members = sorted(cluster)
+                for i, a in enumerate(members):
+                    for b in members[i + 1 :]:
+                        expected.add((a, b))
+            got = cluster_pairs(clusters)
+            assert got == expected
+            assert all(
+                isinstance(a, int) and isinstance(b, int) for a, b in got
+            )
 
     def test_partial_overlap(self):
         metrics = pairwise_metrics({(0, 1), (4, 5)}, {(0, 1), (2, 3)})

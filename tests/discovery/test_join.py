@@ -53,6 +53,70 @@ class TestContainmentSketch:
         assert forward.cardinality() == backward.cardinality()
 
 
+class TestBatchedSketch:
+    """The batched estimators must be bit-identical to the scalar path —
+    they are what keeps batch-scored rankings byte-equal to per-pair."""
+
+    def _random_sketch(self, rng, k):
+        size = int(rng.integers(0, 400))
+        values = [f"v{int(v)}" for v in rng.integers(0, 600, size=size)]
+        return ContainmentSketch.from_values(values, k=k)
+
+    def test_intersection_and_containment_many_match_scalar(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            k_self = int(rng.choice([4, 32, 64, 256]))
+            anchor = self._random_sketch(rng, k_self)
+            others = [
+                self._random_sketch(rng, int(rng.choice([4, 32, 64, 256])))
+                for _ in range(6)
+            ]
+            intersections = anchor.intersection_many(others)
+            containments = anchor.containment_many(others)
+            for idx, other in enumerate(others):
+                assert intersections[idx] == anchor.intersection(other)
+                assert containments[idx] == anchor.containment(other)
+
+    def test_empty_inputs(self):
+        empty = ContainmentSketch(k=8)
+        full = ContainmentSketch.from_values(["a", "b"], k=8)
+        assert empty.intersection_many([full]).tolist() == [0.0]
+        assert empty.containment_many([full]).tolist() == [0.0]
+        assert full.intersection_many([empty]).tolist() == [0.0]
+        assert full.intersection_many([]).size == 0
+
+    def test_dict_round_trip_is_exact(self):
+        sketch = ContainmentSketch.from_values(
+            [f"v{i}" for i in range(500)], k=64
+        )
+        other = ContainmentSketch.from_values([f"v{i}" for i in range(100, 700)], k=64)
+        restored = ContainmentSketch.from_dict(sketch.to_dict())
+        assert restored.k == sketch.k
+        assert len(restored) == len(sketch)
+        assert restored.cardinality() == sketch.cardinality()
+        assert restored.containment(other) == sketch.containment(other)
+        # JSON-safe: the payload survives serialization.
+        import json
+
+        assert ContainmentSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        ).containment(other) == sketch.containment(other)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"k": 8, "distinct": -1, "hashes": []},
+            {"k": 2, "distinct": 5, "hashes": [1, 2, 3]},
+            {"k": 8, "distinct": 1, "hashes": [-4]},
+            {"k": 8, "distinct": 1, "hashes": "nope"},
+        ],
+    )
+    def test_corrupt_payloads_raise(self, payload):
+        with pytest.raises(ValueError, match="corrupt sketch payload"):
+            ContainmentSketch.from_dict(payload)
+
+
 @pytest.fixture(scope="module")
 def bundle():
     return generate_joinable_tables(num_tables=4, rows=30, seed=7)
@@ -160,3 +224,70 @@ class TestRanking:
         vectors = embed_columns(profiles)
         assert rank_join_candidates(profiles[:1], vectors[:1]) == []
         assert rank_join_candidates([], vectors[:0]) == []
+
+
+class TestBatchedScorer:
+    """The bounded-memory batch scorer vs the legacy per-pair oracle."""
+
+    def _key(self, candidates):
+        return [
+            (c.pair, c.score, c.containment, c.cosine) for c in candidates
+        ]
+
+    def test_batched_identical_to_pairwise(self, profiles):
+        vectors = embed_columns(profiles)
+        batched = rank_join_candidates(profiles, vectors, k=6, scorer="batched")
+        pairwise = rank_join_candidates(profiles, vectors, k=6, scorer="pairwise")
+        # Byte-identical: same pairs, same float scores, no tolerance.
+        assert self._key(batched) == self._key(pairwise)
+
+    def test_batch_size_does_not_change_ranking(self, profiles):
+        vectors = embed_columns(profiles)
+        baseline = rank_join_candidates(profiles, vectors, k=6, batch_size=1024)
+        for batch_size in (1, 3, 7):
+            assert self._key(
+                rank_join_candidates(profiles, vectors, k=6, batch_size=batch_size)
+            ) == self._key(baseline)
+
+    def test_top_heap_equals_truncated_full_ranking(self, profiles):
+        vectors = embed_columns(profiles)
+        full = rank_join_candidates(profiles, vectors, k=6)
+        for top in (1, 3, 10, len(full), len(full) + 5):
+            bounded = rank_join_candidates(profiles, vectors, k=6, top=top)
+            assert self._key(bounded) == self._key(full[:top])
+
+    @pytest.mark.parametrize("store_dtype", ["float64", "float32", "float16"])
+    def test_store_dtype_respected_and_paths_agree(self, profiles, store_dtype):
+        from repro.discovery.join import _normalize_rows
+
+        vectors = embed_columns(profiles)
+        normalized = _normalize_rows(vectors, dtype=np.dtype(store_dtype))
+        assert normalized.dtype == np.dtype(store_dtype)
+        config = SudowoodoConfig(store_dtype=store_dtype)
+        batched = rank_join_candidates(
+            profiles, vectors, config=config, k=6, scorer="batched"
+        )
+        pairwise = rank_join_candidates(
+            profiles, vectors, config=config, k=6, scorer="pairwise"
+        )
+        assert self._key(batched) == self._key(pairwise)
+
+    def test_unknown_scorer_raises(self, profiles):
+        vectors = embed_columns(profiles)
+        with pytest.raises(ValueError, match="scorer"):
+            rank_join_candidates(profiles, vectors, scorer="magic")
+
+    def test_min_score_filters_both_paths_identically(self, profiles):
+        vectors = embed_columns(profiles)
+        for scorer in ("batched", "pairwise"):
+            kept = rank_join_candidates(
+                profiles, vectors, k=6, min_score=0.4, scorer=scorer
+            )
+            assert all(c.score >= 0.4 for c in kept)
+        batched, pairwise = (
+            rank_join_candidates(
+                profiles, vectors, k=6, min_score=0.4, scorer=scorer
+            )
+            for scorer in ("batched", "pairwise")
+        )
+        assert self._key(batched) == self._key(pairwise)

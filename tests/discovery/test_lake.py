@@ -1,0 +1,245 @@
+"""Lake-scale discovery tests: the persistent profile cache (warm-vs-cold
+byte identity, fingerprint-granular invalidation), the delta-maintained
+live index, and the lake ranking contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SudowoodoConfig
+from repro.data.generators import generate_lake, mutate_lake
+from repro.discovery import (
+    LakeIndex,
+    ProfileStore,
+    column_fingerprint,
+    hashed_embedder,
+    profile_lake,
+    profile_tables,
+    rank_join_candidates,
+    rank_lake_candidates,
+)
+
+EMBED = hashed_embedder(dim=32)
+
+
+@pytest.fixture()
+def lake_tables():
+    return generate_lake(num_tables=12, rows=10, tables_per_pod=4, seed=5)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProfileStore(tmp_path / "profiles")
+
+
+class TestColumnFingerprint:
+    def test_content_addressed(self):
+        assert column_fingerprint(["a", "b"]) == column_fingerprint(["a", "b"])
+        assert column_fingerprint(["a", "b"]) != column_fingerprint(["b", "a"])
+        assert column_fingerprint(["a", "b"]) != column_fingerprint(["ab"])
+
+    def test_parameters_are_part_of_the_key(self):
+        values = ["x", "y", "z"]
+        assert column_fingerprint(values, max_values=12) != column_fingerprint(
+            values, max_values=8
+        )
+        assert column_fingerprint(values, sketch_k=256) != column_fingerprint(
+            values, sketch_k=64
+        )
+
+
+class TestProfileStore:
+    def test_round_trip_through_reopen(self, tmp_path, lake_tables):
+        path = tmp_path / "cache"
+        cold = profile_lake(lake_tables.tables, ProfileStore(path), EMBED)
+        warm = profile_lake(lake_tables.tables, ProfileStore(path), EMBED)
+        assert warm.computed == 0
+        assert warm.reused == len(warm.profiles)
+        np.testing.assert_array_equal(cold.vectors, warm.vectors)
+
+    def test_put_many_rejects_duplicates_and_misalignment(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        profile = lake.profiles[0]
+        fingerprint = lake.fingerprints[0]
+        with pytest.raises(ValueError, match="already cached"):
+            store.put_many([fingerprint], [profile], np.zeros((1, 32)))
+        with pytest.raises(ValueError, match="align"):
+            store.put_many(["fp1", "fp2"], [profile], np.zeros((1, 32)))
+        with pytest.raises(ValueError, match="duplicate"):
+            store.put_many(
+                ["fp1", "fp1"], [profile, profile], np.zeros((2, 32))
+            )
+
+    def test_unknown_fingerprint_raises(self, store):
+        with pytest.raises(KeyError):
+            store.profile("nope", "t", "c")
+        with pytest.raises(KeyError):
+            store.vectors(["nope"])
+
+    def test_corrupt_profiles_file_raises(self, tmp_path):
+        path = tmp_path / "bad"
+        ProfileStore(path)  # creates the directory
+        (path / "profiles.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt profile store"):
+            ProfileStore(path)
+        (path / "profiles.json").write_text(
+            json.dumps({"format_version": 99, "columns": {}}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="unsupported profile store"):
+            ProfileStore(path)
+
+
+class TestProfileLake:
+    def test_warm_equals_cold_byte_identical(self, store, lake_tables):
+        cold = profile_lake(lake_tables.tables, store, EMBED)
+        warm = profile_lake(lake_tables.tables, store, EMBED)
+        assert cold.fingerprints == warm.fingerprints
+        assert [p.ref for p in cold.profiles] == [p.ref for p in warm.profiles]
+        for a, b in zip(cold.profiles, warm.profiles):
+            assert a.text == b.text
+            assert a.num_values == b.num_values
+            assert a.sketch.to_dict() == b.sketch.to_dict()
+        assert cold.vectors.dtype == warm.vectors.dtype
+        np.testing.assert_array_equal(cold.vectors, warm.vectors)
+        assert warm.computed == 0 and warm.computed_refs == []
+
+    def test_matches_profile_tables_exactly(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        flat = profile_tables(lake_tables.tables)
+        assert [p.ref for p in lake.profiles] == [p.ref for p in flat]
+        for cached, fresh in zip(lake.profiles, flat):
+            assert cached.text == fresh.text
+            assert cached.num_values == fresh.num_values
+            assert cached.sketch.to_dict() == fresh.sketch.to_dict()
+
+    def test_mutation_invalidates_exactly_that_tables_columns(
+        self, store, lake_tables
+    ):
+        profile_lake(lake_tables.tables, store, EMBED)
+        names = sorted(lake_tables.tables)
+        target = names[3]
+        mutated = dict(lake_tables.tables)
+        source = mutated[target]
+        from repro.data.records import Table
+
+        copy = Table(name=target, schema=list(source.schema))
+        for row in range(len(source)):
+            record = source[row]
+            copy.append({a: record.get(a) for a in source.schema})
+        copy.append({a: f"fresh-{a}" for a in source.schema})
+        mutated[target] = copy
+        warm = profile_lake(mutated, store, EMBED)
+        assert {ref[0] for ref in warm.computed_refs} == {target}
+        assert len(warm.computed_refs) == len(source.schema)
+        assert warm.reused == len(warm.profiles) - len(source.schema)
+
+    def test_mutate_lake_helper_reuses_unchanged_tables(self, lake_tables):
+        mutated, names = mutate_lake(lake_tables.tables, fraction=0.25, seed=2)
+        assert names and set(names) <= set(lake_tables.tables)
+        for name, table in lake_tables.tables.items():
+            if name in names:
+                assert mutated[name] is not table
+                assert len(mutated[name]) > len(table)
+            else:
+                assert mutated[name] is table
+        assert list(mutated) == list(lake_tables.tables)
+
+    def test_identical_columns_share_one_entry(self, store):
+        from repro.data.records import Table
+
+        one = Table(name="one", schema=["c"])
+        two = Table(name="two", schema=["c"])
+        for table in (one, two):
+            for value in ("a", "b"):
+                table.append({"c": value})
+        lake = profile_lake({"one": one, "two": two}, store, EMBED)
+        assert len(store) == 1
+        assert lake.fingerprints[0] == lake.fingerprints[1]
+        assert lake.computed == 2  # both *columns* were fresh
+        assert [p.ref for p in lake.profiles] == [("one", "c"), ("two", "c")]
+
+
+class TestLakeIndex:
+    def test_first_update_builds_then_deltas(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        first = index.update(lake)
+        assert first["added"] == len(lake.profiles)
+        assert len(index) == len(lake.profiles)
+        mutated, names = mutate_lake(lake_tables.tables, fraction=0.2, seed=7)
+        warm = profile_lake(mutated, store, EMBED)
+        delta = index.update(warm)
+        changed = sum(
+            len(mutated[name].schema) for name in names
+        )
+        assert delta["updated"] == changed
+        assert delta["added"] == 0 and delta["removed"] == 0
+        assert delta["unchanged"] == len(warm.profiles) - changed
+
+    def test_dropped_table_is_removed(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        index.update(lake)
+        names = sorted(lake_tables.tables)
+        shrunk = {
+            name: table
+            for name, table in lake_tables.tables.items()
+            if name != names[0]
+        }
+        warm = profile_lake(shrunk, store, EMBED)
+        delta = index.update(warm)
+        assert delta["removed"] == len(lake_tables.tables[names[0]].schema)
+        assert len(index) == len(warm.profiles)
+
+    def test_query_before_update_raises(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        with pytest.raises(RuntimeError, match="update"):
+            list(index.iter_candidate_pairs(lake.profiles, lake.vectors, k=3))
+
+
+class TestLakeRanking:
+    def _key(self, candidates):
+        return [(c.pair, c.score, c.containment, c.cosine) for c in candidates]
+
+    def test_batched_equals_pairwise(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        index.update(lake)
+        batched = rank_lake_candidates(lake, index, k=5, scorer="batched")
+        pairwise = rank_lake_candidates(lake, index, k=5, scorer="pairwise")
+        assert self._key(batched) == self._key(pairwise)
+        assert batched, "expected candidates on a planted lake"
+
+    def test_lake_ranking_matches_flat_path(self, store, lake_tables):
+        # Same columns, same exact backend: the incremental path must
+        # rank exactly like the one-shot rank_join_candidates path.
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        index.update(lake)
+        incremental = rank_lake_candidates(lake, index, k=5)
+        flat = rank_join_candidates(
+            lake.profiles, lake.vectors, SudowoodoConfig(), k=5
+        )
+        assert self._key(incremental) == self._key(flat)
+
+    def test_ranking_finds_planted_joins(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        index.update(lake)
+        candidates = rank_lake_candidates(lake, index, k=6, alpha=0.6)
+        n = len(lake_tables.joinable)
+        top = {c.pair for c in candidates[:n]}
+        assert len(top & lake_tables.joinable) / n >= 0.5
+
+    def test_top_bound_and_stability_after_mutation(self, store, lake_tables):
+        lake = profile_lake(lake_tables.tables, store, EMBED)
+        index = LakeIndex(SudowoodoConfig())
+        index.update(lake)
+        mutated, _ = mutate_lake(lake_tables.tables, fraction=0.2, seed=11)
+        warm = profile_lake(mutated, store, EMBED)
+        index.update(warm)
+        full = rank_lake_candidates(warm, index, k=5)
+        top = rank_lake_candidates(warm, index, k=5, top=4)
+        assert self._key(top) == self._key(full[:4])
